@@ -1,0 +1,102 @@
+// Micro-benchmarks (google-benchmark) for the simulation substrate: DES
+// event throughput, fiber context switches, trace translation, and the
+// full measure->translate->simulate pipeline.  These quantify the paper's
+// efficiency claim — extrapolation is fast enough for *rapid, interactive*
+// performance debugging, unlike detailed architectural simulation.
+#include <benchmark/benchmark.h>
+
+#include "core/extrapolator.hpp"
+#include "core/translate.hpp"
+#include "fiber/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "suite/suite.hpp"
+
+using namespace xp;
+
+namespace {
+
+void BM_EngineScheduleFire(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < batch; ++i)
+      e.schedule_at(util::Time::ns(i % 1000), [] {});
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EngineScheduleFire)->Arg(1000)->Arg(100000);
+
+void BM_FiberSwitch(benchmark::State& state) {
+  for (auto _ : state) {
+    fiber::Scheduler s;
+    const int yields = 1000;
+    for (int f = 0; f < 2; ++f)
+      s.spawn([&s] {
+        for (int i = 0; i < yields; ++i) s.yield();
+      });
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 1000 * 2);
+}
+BENCHMARK(BM_FiberSwitch);
+
+suite::SuiteConfig micro_cfg() {
+  suite::SuiteConfig cfg;
+  cfg.cyclic_size = 256;
+  cfg.cyclic_width = 8;
+  return cfg;
+}
+
+void BM_MeasureCyclic(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto prog = suite::make_cyclic(micro_cfg());
+    rt::MeasureOptions mo;
+    mo.n_threads = n;
+    benchmark::DoNotOptimize(rt::measure(*prog, mo));
+  }
+}
+BENCHMARK(BM_MeasureCyclic)->Arg(8)->Arg(32);
+
+void BM_TranslateCyclic(benchmark::State& state) {
+  auto prog = suite::make_cyclic(micro_cfg());
+  rt::MeasureOptions mo;
+  mo.n_threads = 32;
+  const trace::Trace measured = rt::measure(*prog, mo);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::translate(measured));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(measured.size()));
+}
+BENCHMARK(BM_TranslateCyclic);
+
+void BM_SimulateCyclic(benchmark::State& state) {
+  auto prog = suite::make_cyclic(micro_cfg());
+  rt::MeasureOptions mo;
+  mo.n_threads = 32;
+  const trace::Trace measured = rt::measure(*prog, mo);
+  const auto parts = core::translate(measured);
+  const auto params = model::distributed_preset();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::simulate(parts, params));
+}
+BENCHMARK(BM_SimulateCyclic);
+
+void BM_FullPipelineGrid(benchmark::State& state) {
+  suite::SuiteConfig cfg;
+  cfg.grid_blocks = 8;
+  cfg.grid_block_points = 16;
+  cfg.grid_iters = 10;
+  const auto params = model::distributed_preset();
+  for (auto _ : state) {
+    auto prog = suite::make_grid(cfg);
+    core::Extrapolator x(params);
+    benchmark::DoNotOptimize(x.extrapolate(*prog, 16));
+  }
+}
+BENCHMARK(BM_FullPipelineGrid);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// grid_whatif — the §4.1 performance-debugging session, replayed as a
+// runnable "what if" exploration.
+//
+// The paper's narrative: Grid's extrapolated speedup levels off after four
+// processors under the distributed-memory parameter set.  Is it bandwidth?
+// Synchronization?  Start-up overhead?  Every hypothesis is tested by
+// re-simulating the SAME single-processor measurement with different
+// target-environment parameters — no parallel machine required.  The
+// culprit turns out to be a measurement abstraction: the compiler-declared
+// element size (231456 bytes) charged for remote transfers that actually
+// move 2..512 bytes.
+#include <iostream>
+
+#include "core/extrapolator.hpp"
+#include "metrics/report.hpp"
+#include "suite/suite.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace xp;
+
+namespace {
+
+void step(int k, const std::string& what) {
+  std::cout << "\n--- step " << k << ": " << what << "\n";
+}
+
+double speedup_of(const trace::Trace& t1, const trace::Trace& tn,
+                  const model::SimParams& params) {
+  core::Extrapolator x(params);
+  return x.extrapolate_trace(t1).predicted_time /
+         x.extrapolate_trace(tn).predicted_time;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("grid_whatif",
+                       "replay the paper's Grid performance investigation");
+  args.add_option("threads", "8", "parallel thread count to study");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const int n = static_cast<int>(args.get_int("threads"));
+
+    std::cout << "Measuring Grid once on the 1-processor environment...\n";
+    rt::MeasureOptions mo1, mon;
+    mo1.n_threads = 1;
+    mon.n_threads = n;
+    auto p1 = suite::make_grid();
+    const trace::Trace t1 = rt::measure(*p1, mo1);
+    auto pn = suite::make_grid();
+    const trace::Trace tn = rt::measure(*pn, mon);
+    std::cout << "measured (1 thread): " << t1.end_time().str() << ", ("
+              << n << " threads): " << tn.end_time().str() << '\n';
+
+    step(1, "extrapolate with the distributed-memory set (20 MB/s)");
+    auto base = model::distributed_preset();
+    std::cout << "speedup at " << n << " processors: "
+              << util::Table::fixed(speedup_of(t1, tn, base), 2)
+              << "  — levels off, as in Figure 4. Why?\n";
+
+    step(2, "hypothesis: link bandwidth. Raise 20 -> 200 MB/s");
+    auto hibw = base;
+    hibw.comm.byte_transfer = util::Time::us(0.005);
+    std::cout << "speedup: " << util::Table::fixed(speedup_of(t1, tn, hibw), 2)
+              << "  — better, but still well below the shared-memory "
+                 "experience.\n";
+
+    step(3, "hypothesis: synchronization. Check the trace statistics");
+    const trace::Summary s = trace::summarize(tn);
+    std::cout << "barriers: " << s.barriers
+              << " (too few to matter)  remote reads: " << s.remote_reads
+              << "\ndeclared transfer volume: " << s.declared_bytes / 1024
+              << " KB   actual volume: " << s.actual_bytes / 1024
+              << " KB   <-- the smoking gun\n";
+
+    step(4, "extrapolate to an ideal (zero-cost) environment as a bound");
+    std::cout << "speedup: "
+              << util::Table::fixed(speedup_of(t1, tn, model::ideal_preset()), 2)
+              << '\n';
+
+    step(5, "fix the measurement abstraction: use ACTUAL transfer sizes");
+    auto actual = base;
+    actual.size_mode = model::TransferSizeMode::Actual;
+    std::cout << "speedup: "
+              << util::Table::fixed(speedup_of(t1, tn, actual), 2)
+              << "  — comparable to the high-bandwidth test, at the "
+                 "original 20 MB/s!\n";
+
+    step(6, "now also reduce the high communication start-up");
+    auto tuned = actual;
+    tuned.comm.comm_startup = util::Time::us(10);
+    tuned.comm.msg_build = util::Time::us(1);
+    std::cout << "speedup: "
+              << util::Table::fixed(speedup_of(t1, tn, tuned), 2) << '\n';
+
+    std::cout << "\nAll six experiments reused the same two measurements — "
+                 "the whole investigation ran without any parallel "
+                 "machine.\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

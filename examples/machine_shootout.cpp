@@ -1,0 +1,87 @@
+// machine_shootout — cross-platform "what if" from one measurement.
+//
+// The paper's motivation: pC++ programs are portable, and performance
+// debugging on every candidate platform is impractical.  Extrapolation
+// answers "which machine suits this program?" from a single workstation
+// measurement per thread count: here the same traces are simulated against
+// several target environments (the Table 3 CM-5, plus historically
+// plausible Paragon / SP-1 / bus-shared-memory approximations — see
+// EXPERIMENTS.md) and the predicted times are compared directly.
+//
+// Note the absolute times embed each target's processor speed (MipsRatio),
+// so this compares machines, not just networks.
+#include <iostream>
+
+#include "core/extrapolator.hpp"
+#include "metrics/report.hpp"
+#include "model/params_io.hpp"
+#include "suite/suite.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+using namespace xp;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("machine_shootout",
+                       "compare target machines for one program");
+  args.add_option("bench", "grid", "benchmark (Table 2 name)");
+  args.add_option("procs", "4,8,16,32", "processor counts");
+  args.add_option("machines", "cm5,paragon,sp1,sgi",
+                  "comma-separated preset names");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    std::vector<int> procs;
+    for (const auto& s : util::split(args.get("procs"), ','))
+      procs.push_back(std::stoi(s));
+    const auto machines = util::split(args.get("machines"), ',');
+
+    // One measurement per processor count, shared by all machines.
+    std::map<int, trace::Trace> traces;
+    for (int n : procs) {
+      auto prog = suite::make_by_name(args.get("bench"));
+      rt::MeasureOptions mo;
+      mo.n_threads = n;
+      traces.emplace(n, rt::measure(*prog, mo));
+    }
+
+    std::vector<metrics::Curve> curves;
+    std::map<std::string, std::vector<util::Time>> times;
+    for (const auto& m : machines) {
+      core::Extrapolator x(model::preset_by_name(m));
+      metrics::Curve c;
+      c.label = m;
+      c.procs = procs;
+      for (int n : procs) {
+        const auto t = x.extrapolate_trace(traces.at(n)).predicted_time;
+        times[m].push_back(t);
+        c.values.push_back(t.to_ms());
+      }
+      curves.push_back(std::move(c));
+    }
+
+    std::cout << args.get("bench")
+              << " — predicted execution time by target machine\n\n"
+              << metrics::render_curves("machine comparison", curves,
+                                        "time [ms]", true, true);
+
+    for (int i = 0; i < static_cast<int>(procs.size()); ++i) {
+      std::string best;
+      util::Time best_t = util::Time::max();
+      for (const auto& m : machines) {
+        const util::Time t = times[m][static_cast<std::size_t>(i)];
+        if (t < best_t) {
+          best_t = t;
+          best = m;
+        }
+      }
+      std::cout << "best at " << procs[static_cast<std::size_t>(i)]
+                << " procs: " << best << " (" << best_t.str() << ")\n";
+    }
+    std::cout << "\n(every row reuses the same per-n measurement; only the "
+                 "simulation parameters change)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

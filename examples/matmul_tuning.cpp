@@ -1,0 +1,104 @@
+// matmul_tuning — use extrapolation to pick a data distribution before
+// touching the target machine (the §4.2 workflow).
+//
+// For each of the nine {Block, Cyclic, Whole}^2 distribution combinations,
+// the Matmul program is measured on one (virtual) processor and its
+// n-processor execution predicted with the CM-5 parameter set (Table 3).
+// With --validate, the recommendation is checked against the
+// direct-execution machine simulator (the repository's CM-5 stand-in).
+#include <iostream>
+
+#include "core/extrapolator.hpp"
+#include "machine/machine_sim.hpp"
+#include "suite/suite.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace xp;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("matmul_tuning",
+                       "choose a Matmul data distribution by extrapolation");
+  args.add_option("threads", "16", "target processor count");
+  args.add_option("n", "16", "matrix dimension");
+  args.add_flag("validate", "also run the machine simulator and compare");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    const int n = static_cast<int>(args.get_int("threads"));
+    suite::SuiteConfig cfg;
+    cfg.matmul_n = args.get_int("n");
+    const bool validate = args.has("validate");
+
+    const rt::Dist kDists[] = {rt::Dist::Block, rt::Dist::Cyclic,
+                               rt::Dist::Whole};
+    core::Extrapolator x(model::cm5_preset());
+
+    struct Entry {
+      std::string label;
+      util::Time predicted, actual;
+    };
+    std::vector<Entry> entries;
+    for (rt::Dist a : kDists)
+      for (rt::Dist b : kDists) {
+        Entry e;
+        auto prog = suite::make_matmul(a, b, cfg);
+        e.label = prog->name();
+        e.predicted = x.extrapolate(*prog, n).predicted_time;
+        if (validate) {
+          auto prog2 = suite::make_matmul(a, b, cfg);
+          e.actual = machine::run_on_machine(*prog2, n,
+                                             machine::cm5_machine())
+                         .exec_time;
+        }
+        entries.push_back(std::move(e));
+      }
+
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& l, const Entry& r) {
+                return l.predicted < r.predicted;
+              });
+
+    std::vector<std::string> headers{"rank", "distribution", "predicted"};
+    if (validate) {
+      headers.push_back("machine");
+      headers.push_back("error %");
+    }
+    util::Table t(headers);
+    int rank = 1;
+    for (const auto& e : entries) {
+      std::vector<std::string> row{std::to_string(rank++), e.label,
+                                   e.predicted.str()};
+      if (validate) {
+        row.push_back(e.actual.str());
+        row.push_back(
+            util::Table::fixed(100.0 * (e.predicted / e.actual - 1.0), 1));
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << t.to_text();
+    std::cout << "\nrecommendation for " << n
+              << " processors: " << entries.front().label << '\n';
+    if (validate) {
+      const auto best_actual = std::min_element(
+          entries.begin(), entries.end(), [](const Entry& l, const Entry& r) {
+            return l.actual < r.actual;
+          });
+      std::cout << "machine-simulated best:   " << best_actual->label;
+      if (best_actual->label == entries.front().label)
+        std::cout << "  (extrapolation picked the right one)";
+      else
+        std::cout << "  (recommendation costs "
+                  << util::Table::fixed(
+                         100.0 * (entries.front().actual /
+                                      best_actual->actual -
+                                  1.0),
+                         1)
+                  << "% extra)";
+      std::cout << '\n';
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: the full ExtraP pipeline on one benchmark.
+//
+//   1. "Measure": run an n-thread pC++-model program on one (virtual)
+//      processor, recording barrier / remote-access events.
+//   2. Translate the trace to an idealized n-processor timeline.
+//   3. Simulate the target environment to predict the n-processor time.
+//
+// Try:  quickstart --bench=grid --threads=8 --preset=distributed
+#include <iostream>
+
+#include "core/extrapolator.hpp"
+#include "metrics/report.hpp"
+#include "model/params_io.hpp"
+#include "suite/suite.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+using namespace xp;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("quickstart", "extrapolate one benchmark end to end");
+  args.add_option("bench", "grid", "benchmark name (see Table 2) or matmul");
+  args.add_option("threads", "8", "thread count n (power of two for sort)");
+  args.add_option("preset", "distributed",
+                  "target environment: distributed|shared|ideal|cm5");
+  args.add_option("params", "",
+                  "parameter-set file (key = value; overrides --preset)");
+  args.add_option("mips-ratio", "", "override MipsRatio (empty = preset)");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    model::SimParams params =
+        args.get("params").empty()
+            ? model::preset_by_name(args.get("preset"))
+            : model::load_params(args.get("params"));
+    if (!args.get("mips-ratio").empty())
+      params.proc.mips_ratio = args.get_double("mips-ratio");
+    const int n = static_cast<int>(args.get_int("threads"));
+
+    auto prog = suite::make_by_name(args.get("bench"));
+    std::cout << "benchmark : " << prog->name() << " — "
+              << suite::describe(args.get("bench")) << "\n"
+              << "threads   : " << n << "\n"
+              << "params    : " << params.str() << "\n\n";
+
+    core::Extrapolator xp(params);
+    const core::Prediction p = xp.extrapolate(*prog, n);
+
+    std::cout << metrics::render_prediction(p, /*per_thread_table=*/true);
+    std::cout << "\n(verification against the sequential reference passed)\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

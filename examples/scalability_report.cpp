@@ -1,0 +1,71 @@
+// scalability_report — "is it worth buying a bigger machine?"
+//
+// Sweeps processor counts for any suite benchmark entirely by
+// extrapolation, then analyzes the predicted curve: speedups, efficiency,
+// Karp–Flatt experimentally determined serial fraction (growing = the
+// overhead is communication/synchronization, not serial code), an Amdahl
+// fit, and projected speedups for machine sizes never simulated.  Also
+// prints the per-phase profile at the largest count to show WHERE the
+// time goes.
+#include <iostream>
+
+#include "core/extrapolator.hpp"
+#include "metrics/phases.hpp"
+#include "metrics/scalability.hpp"
+#include "suite/suite.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+using namespace xp;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("scalability_report",
+                       "extrapolated scalability analysis of a benchmark");
+  args.add_option("bench", "poisson", "benchmark (Table 2 name)");
+  args.add_option("procs", "1,2,4,8,16,32", "processor counts (start at 1)");
+  args.add_option("preset", "distributed", "distributed|shared|ideal|cm5");
+  args.add_flag("phases", "also print the per-phase profile at max procs");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    model::SimParams params;
+    const std::string preset = args.get("preset");
+    if (preset == "distributed")
+      params = model::distributed_preset();
+    else if (preset == "shared")
+      params = model::shared_memory_preset();
+    else if (preset == "ideal")
+      params = model::ideal_preset();
+    else if (preset == "cm5")
+      params = model::cm5_preset();
+    else
+      throw util::Error("unknown preset: " + preset);
+
+    std::vector<int> procs;
+    for (const auto& s : util::split(args.get("procs"), ','))
+      procs.push_back(std::stoi(s));
+
+    core::Extrapolator x(params);
+    std::vector<util::Time> times;
+    core::Prediction last;
+    for (int n : procs) {
+      auto prog = suite::make_by_name(args.get("bench"));
+      last = x.extrapolate(*prog, n);
+      times.push_back(last.predicted_time);
+      std::cout << "  n=" << n << ": " << last.predicted_time.str() << '\n';
+    }
+
+    std::cout << "\n"
+              << metrics::render_scalability(
+                     metrics::analyze_scalability(procs, times));
+
+    if (args.has("phases")) {
+      std::cout << "\nper-phase profile at n=" << procs.back() << ":\n"
+                << metrics::render_phase_table(
+                       metrics::profile_phases(last.sim.extrapolated));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

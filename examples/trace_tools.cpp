@@ -1,0 +1,122 @@
+// trace_tools — file-based ExtraP workflow.
+//
+// The paper's tool operates on trace FILES: measure once, keep the trace,
+// extrapolate it later (and repeatedly) under different target parameters.
+// Subcommands:
+//   --measure=<bench> --threads=N --out=trace.xpt[b]   record a trace
+//   --summarize=trace.xpt                              print statistics
+//   --translate=trace.xpt --out=dir/                   write per-thread files
+//   --extrapolate=trace.xpt --preset=cm5 [--mips-ratio=..]  predict
+#include <filesystem>
+#include <iostream>
+
+#include "core/extrapolator.hpp"
+#include "metrics/report.hpp"
+#include "model/params_io.hpp"
+#include "suite/suite.hpp"
+#include "trace/summary.hpp"
+#include "trace/trace_io.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+using namespace xp;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("trace_tools", "measure / inspect / extrapolate "
+                                      "trace files");
+  args.add_option("measure", "", "benchmark to measure (Table 2 name)");
+  args.add_option("threads", "8", "thread count for --measure");
+  args.add_flag("host-clock",
+                "measure with real wall-clock timestamps (the paper's Sun 4 "
+                "method) and a calibrated MFLOPS rating; nondeterministic");
+  args.add_option("out", "trace.xpt", "output path (.xpt text, .xptb binary)");
+  args.add_option("summarize", "", "trace file to summarize");
+  args.add_option("translate", "", "trace file to translate per thread");
+  args.add_option("extrapolate", "", "trace file to extrapolate");
+  args.add_option("preset", "distributed",
+                  "distributed|shared|ideal|cm5 for --extrapolate");
+  args.add_option("params", "",
+                  "parameter-set file for --extrapolate (overrides preset)");
+  args.add_option("dump-params", "",
+                  "write a preset's full parameter set to this path");
+  args.add_option("mips-ratio", "", "override MipsRatio");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    if (!args.get("measure").empty()) {
+      auto prog = suite::make_by_name(args.get("measure"));
+      rt::MeasureOptions mo;
+      mo.n_threads = static_cast<int>(args.get_int("threads"));
+      if (args.has("host-clock")) {
+        mo.host.clock_mode = rt::HostMachine::ClockMode::HostClock;
+        mo.host.mflops = rt::calibrate_mflops();
+        mo.host.name = "host";
+        std::cout << "calibrated host rating: " << mo.host.mflops
+                  << " MFLOPS\n";
+      }
+      const trace::Trace t = rt::measure(*prog, mo);
+      trace::save(t, args.get("out"));
+      std::cout << "wrote " << t.size() << " events ("
+                << trace::summarize(t).str() << ")\nto " << args.get("out")
+                << '\n';
+      return 0;
+    }
+
+    if (!args.get("summarize").empty()) {
+      const trace::Trace t = trace::load(args.get("summarize"));
+      t.validate();
+      const trace::Summary s = trace::summarize(t);
+      std::cout << s.str() << '\n';
+      for (int th = 0; th < s.n_threads; ++th) {
+        const auto& ts = s.threads[static_cast<std::size_t>(th)];
+        std::cout << "  thread " << th << ": events=" << ts.events
+                  << " compute=" << ts.compute.str()
+                  << " rreads=" << ts.remote_reads
+                  << " actual=" << ts.actual_bytes << "B\n";
+      }
+      return 0;
+    }
+
+    if (!args.get("translate").empty()) {
+      const trace::Trace t = trace::load(args.get("translate"));
+      const auto parts = core::translate(t);
+      const std::filesystem::path dir(args.get("out"));
+      std::filesystem::create_directories(dir);
+      for (std::size_t i = 0; i < parts.size(); ++i) {
+        const auto path = dir / ("thread" + std::to_string(i) + ".xpt");
+        trace::save(parts[i], path.string());
+      }
+      std::cout << "wrote " << parts.size() << " translated per-thread "
+                << "traces to " << dir.string() << "/ (ideal parallel time "
+                << core::ideal_parallel_time(parts).str() << ")\n";
+      return 0;
+    }
+
+    if (!args.get("dump-params").empty()) {
+      model::save_params(model::preset_by_name(args.get("preset")),
+                         args.get("dump-params"));
+      std::cout << "wrote " << args.get("preset") << " parameter set to "
+                << args.get("dump-params") << '\n';
+      return 0;
+    }
+
+    if (!args.get("extrapolate").empty()) {
+      const trace::Trace t = trace::load(args.get("extrapolate"));
+      model::SimParams params =
+          args.get("params").empty()
+              ? model::preset_by_name(args.get("preset"))
+              : model::load_params(args.get("params"));
+      if (!args.get("mips-ratio").empty())
+        params.proc.mips_ratio = args.get_double("mips-ratio");
+      core::Extrapolator x(params);
+      std::cout << metrics::render_prediction(x.extrapolate_trace(t), true);
+      return 0;
+    }
+
+    std::cout << args.usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Reproduce everything: build, run the full test suite, regenerate every
+# table/figure of the paper, and leave the logs at the repository root
+# (test_output.txt, bench_output.txt).  See EXPERIMENTS.md for how to read
+# the results.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] && "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+echo
+echo "shape checks: $(grep -c '\[OK '  bench_output.txt) OK," \
+     "$(grep -c '\[??? ' bench_output.txt || true) failed"

@@ -1,0 +1,27 @@
+#include "core/extrapolator.hpp"
+
+namespace xp::core {
+
+Prediction Extrapolator::extrapolate(rt::Program& prog, int n_threads,
+                                     const rt::HostMachine& host) const {
+  rt::MeasureOptions mo;
+  mo.n_threads = n_threads;
+  mo.host = host;
+  const trace::Trace measured = rt::measure(prog, mo);
+  return extrapolate_trace(measured);
+}
+
+Prediction Extrapolator::extrapolate_trace(const trace::Trace& measured,
+                                           const TranslateOptions& topt) const {
+  Prediction p;
+  p.n_threads = measured.n_threads();
+  p.measured_time = measured.end_time();
+  p.measured_summary = trace::summarize(measured);
+  const std::vector<trace::Trace> translated = translate(measured, topt);
+  p.ideal_time = ideal_parallel_time(translated);
+  p.sim = simulate(translated, params_);
+  p.predicted_time = p.sim.makespan;
+  return p;
+}
+
+}  // namespace xp::core

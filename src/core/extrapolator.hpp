@@ -1,0 +1,48 @@
+// ExtraP facade — the end-to-end pipeline of Figure 2.
+//
+//   program --measure--> 1-processor trace --translate--> n ideal traces
+//           --simulate--> extrapolated trace + predicted metrics
+//
+// Each stage is also available separately (rt::measure, core::translate,
+// core::simulate) for tools that start from a stored trace file.
+#pragma once
+
+#include <string>
+
+#include "core/simulator.hpp"
+#include "core/translate.hpp"
+#include "rt/runtime.hpp"
+#include "trace/summary.hpp"
+
+namespace xp::core {
+
+struct Prediction {
+  int n_threads = 0;
+  Time predicted_time;     ///< extrapolated n-processor execution time
+  Time ideal_time;         ///< translated makespan (zero-cost environment)
+  Time measured_time;      ///< the 1-processor measured run's end time
+  SimResult sim;           ///< full simulation result
+  trace::Summary measured_summary;  ///< trace statistics of the measurement
+};
+
+class Extrapolator {
+ public:
+  explicit Extrapolator(SimParams params) : params_(std::move(params)) {}
+
+  const SimParams& params() const { return params_; }
+  SimParams& params() { return params_; }
+
+  /// Measure `prog` with n threads on one (virtual) processor, translate,
+  /// and simulate the n-processor execution.
+  Prediction extrapolate(rt::Program& prog, int n_threads,
+                         const rt::HostMachine& host = rt::sun4_host()) const;
+
+  /// Extrapolate from an existing measured 1-processor trace.
+  Prediction extrapolate_trace(const trace::Trace& measured,
+                               const TranslateOptions& topt = {}) const;
+
+ private:
+  SimParams params_;
+};
+
+}  // namespace xp::core

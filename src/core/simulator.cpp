@@ -1,0 +1,604 @@
+#include "core/simulator.hpp"
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "model/barrier_model.hpp"
+#include "model/processor_model.hpp"
+#include "model/remote_model.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "util/error.hpp"
+
+namespace xp::core {
+
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+
+// One CPU-consuming activity queued on a processor.
+struct CpuItem {
+  Time duration;
+  bool preemptible = false;  // only compute chunks, only under Interrupt
+  std::function<void()> done;
+};
+
+// A processor's CPU: strictly serial, FIFO, with preemption of compute
+// chunks by interrupt-policy request service.
+struct Cpu {
+  bool busy = false;
+  bool cur_preemptible = false;
+  Time cur_end;
+  sim::EventId cur_completion{};
+  std::function<void()> cur_done;
+  std::deque<CpuItem> queue;
+};
+
+enum class TState { Start, Computing, WaitReply, WaitBarrier, Done };
+
+struct Msg {
+  enum class Kind { Request, Reply, BarArrive, BarRelease } kind;
+  int from = -1;             // sending thread
+  int to = -1;               // destination thread
+  std::int32_t declared = 0;
+  std::int32_t actual = 0;
+  std::int32_t barrier_id = -1;
+  bool is_write = false;
+};
+
+struct ThreadCtx {
+  int id = 0;
+  int proc = 0;
+  const std::vector<Event>* events = nullptr;
+  std::size_t next = 0;
+  Time prev_time;
+  bool first_event = true;
+  TState state = TState::Start;
+
+  // Current barrier bookkeeping (message protocol).
+  std::int32_t cur_barrier = -1;
+  bool self_arrived = false;
+  int children_arrived = 0;
+  std::map<std::int32_t, int> early_arrivals;  // arrivals for future barriers
+
+  Time wait_start;
+
+  // Requests queued while computing (NoInterrupt / Poll policies).
+  std::deque<Msg> inbox;
+
+  // Poll chunking of the current computation interval.
+  std::vector<Time> chunks;
+  std::size_t chunk_idx = 0;
+  std::function<void()> after_compute;
+
+  ThreadStats stats;
+};
+
+struct AnalyticBarrier {
+  std::vector<Time> arrival;
+  int count = 0;
+};
+
+class Simulator {
+ public:
+  Simulator(const std::vector<trace::Trace>& translated,
+            const SimParams& params)
+      : params_(params),
+        n_(static_cast<int>(translated.size())),
+        n_procs_(model::effective_procs(params.proc, n_)),
+        plan_(model::make_plan(params.barrier.alg, n_)),
+        network_(engine_, params.comm, params.network, n_procs_) {
+    params_.validate(n_);
+    threads_.reserve(static_cast<std::size_t>(n_));
+    for (int t = 0; t < n_; ++t) {
+      const trace::Trace& tr = translated[static_cast<std::size_t>(t)];
+      XP_REQUIRE(!tr.empty(), "thread trace is empty");
+      auto ctx = std::make_unique<ThreadCtx>();
+      ctx->id = t;
+      ctx->proc = model::proc_of_thread(params.proc, t, n_);
+      ctx->events = &tr.events();
+      for (const Event& e : tr.events())
+        XP_REQUIRE(e.thread == t, "translated trace contains foreign events");
+      threads_.push_back(std::move(ctx));
+    }
+    cpus_.resize(static_cast<std::size_t>(n_procs_));
+  }
+
+  SimResult run() {
+    for (auto& t : threads_) proceed(*t);
+    engine_.run();
+    for (auto& t : threads_)
+      XP_CHECK(t->state == TState::Done,
+               "simulation ended with thread " + std::to_string(t->id) +
+                   " not done (replay deadlock)");
+
+    SimResult r;
+    r.threads.reserve(threads_.size());
+    for (auto& t : threads_) {
+      r.makespan = util::max(r.makespan, t->stats.finish);
+      r.threads.push_back(t->stats);
+    }
+    trace::Trace out(n_);
+    out.set_meta("extrapolated", "1");
+    for (const Event& e : out_events_) out.append(e);
+    out.sort_by_time();
+    r.extrapolated = std::move(out);
+    r.messages = network_.messages_sent();
+    r.bytes = network_.bytes_sent();
+    r.avg_inflight = network_.load_samples().mean();
+    r.engine_events = engine_.fired();
+    return r;
+  }
+
+ private:
+  // --- CPU management -----------------------------------------------------
+
+  Cpu& cpu(int proc) { return cpus_[static_cast<std::size_t>(proc)]; }
+
+  void cpu_enqueue(int proc, Time dur, bool preemptible,
+                   std::function<void()> done, bool front = false) {
+    CpuItem item{dur, preemptible, std::move(done)};
+    if (front)
+      cpu(proc).queue.push_front(std::move(item));
+    else
+      cpu(proc).queue.push_back(std::move(item));
+    cpu_pump(proc);
+  }
+
+  void cpu_pump(int proc) {
+    Cpu& c = cpu(proc);
+    if (c.busy || c.queue.empty()) return;
+    CpuItem item = std::move(c.queue.front());
+    c.queue.pop_front();
+    c.busy = true;
+    c.cur_preemptible = item.preemptible;
+    c.cur_end = engine_.now() + item.duration;
+    c.cur_done = std::move(item.done);
+    c.cur_completion = engine_.schedule_after(item.duration, [this, proc] {
+      Cpu& cc = cpu(proc);
+      cc.busy = false;
+      auto done = std::move(cc.cur_done);
+      cc.cur_done = nullptr;
+      if (done) done();
+      cpu_pump(proc);
+    });
+  }
+
+  /// Insert `dur`+`done` to run as soon as possible: preempts a running
+  /// compute chunk (Interrupt policy), otherwise runs right after the
+  /// current non-preemptible activity.
+  void cpu_preempt_insert(int proc, Time dur, std::function<void()> done) {
+    Cpu& c = cpu(proc);
+    if (c.busy && c.cur_preemptible) {
+      const Time remaining = c.cur_end - engine_.now();
+      XP_CHECK(!remaining.is_negative(), "CPU completion in the past");
+      engine_.cancel(c.cur_completion);
+      // Resume the interrupted chunk (with its original completion) after
+      // the service finishes.
+      c.queue.push_front(CpuItem{remaining, true, std::move(c.cur_done)});
+      c.queue.push_front(CpuItem{dur, false, std::move(done)});
+      c.busy = false;
+      c.cur_done = nullptr;
+      cpu_pump(proc);
+    } else {
+      cpu_enqueue(proc, dur, false, std::move(done), /*front=*/true);
+    }
+  }
+
+  // --- trace replay -------------------------------------------------------
+
+  ThreadCtx& thr(int id) { return *threads_[static_cast<std::size_t>(id)]; }
+
+  void proceed(ThreadCtx& T) {
+    XP_CHECK(T.next < T.events->size(), "replay ran past end of trace");
+    const Event e = (*T.events)[T.next++];
+    Time delta = Time::zero();
+    if (T.first_event) {
+      T.first_event = false;
+    } else {
+      delta = e.time - T.prev_time;
+      XP_CHECK(!delta.is_negative(), "translated trace not time-ordered");
+    }
+    T.prev_time = e.time;
+    const Time scaled = model::scale_compute(params_.proc, delta);
+    start_compute(T, scaled, [this, &T, e] { handle_event(T, e); });
+  }
+
+  void start_compute(ThreadCtx& T, Time scaled, std::function<void()> cont) {
+    T.stats.compute += scaled;
+    T.chunks = model::poll_chunks(params_.proc, scaled);
+    T.chunk_idx = 0;
+    T.after_compute = std::move(cont);
+    if (T.chunks.empty()) {
+      T.after_compute();
+      return;
+    }
+    run_chunk(T);
+  }
+
+  void run_chunk(ThreadCtx& T) {
+    T.state = TState::Computing;
+    const Time len = T.chunks[T.chunk_idx];
+    const bool preemptible =
+        params_.proc.policy == model::ServicePolicy::Interrupt;
+    cpu_enqueue(T.proc, len, preemptible, [this, &T] { chunk_done(T); });
+  }
+
+  void chunk_done(ThreadCtx& T) {
+    ++T.chunk_idx;
+    const bool last = T.chunk_idx >= T.chunks.size();
+    if (last) {
+      T.after_compute();
+      return;
+    }
+    // Poll boundary: pay the poll check, service anything queued, continue.
+    ++T.stats.polls;
+    T.stats.poll_time += params_.proc.poll_overhead;
+    cpu_enqueue(T.proc, params_.proc.poll_overhead, false, [this, &T] {
+      drain_inbox(T);
+      run_chunk(T);  // FIFO: the next chunk queues behind the services
+    });
+  }
+
+  void handle_event(ThreadCtx& T, const Event& e) {
+    switch (e.kind) {
+      case EventKind::ThreadBegin:
+      case EventKind::PhaseBegin:
+      case EventKind::PhaseEnd:
+        emit(T, e);
+        proceed(T);
+        break;
+      case EventKind::ThreadEnd:
+        emit(T, e);
+        T.state = TState::Done;
+        T.stats.finish = engine_.now();
+        // A finished thread's processor keeps servicing remote requests
+        // (§3.3.3); anything queued while it was computing drains now.
+        drain_inbox(T);
+        break;
+      case EventKind::RemoteRead:
+      case EventKind::RemoteWrite:
+        emit(T, e);
+        begin_remote_access(T, e);
+        break;
+      case EventKind::BarrierEntry: {
+        emit(T, e);
+        // Consume the paired BarrierExit from the trace now; the simulator
+        // generates the real exit time itself.
+        XP_CHECK(T.next < T.events->size() &&
+                     (*T.events)[T.next].kind == EventKind::BarrierExit,
+                 "BarrierEntry without paired BarrierExit");
+        T.prev_time = (*T.events)[T.next].time;
+        ++T.next;
+        begin_barrier(T, e.barrier_id);
+        break;
+      }
+      case EventKind::BarrierExit:
+        XP_CHECK(false, "unpaired BarrierExit reached replay");
+        break;
+    }
+  }
+
+  // --- remote data access (§3.3.2) ----------------------------------------
+
+  int cluster_of(int proc) const {
+    return proc / params_.cluster.procs_per_cluster;
+  }
+
+  void begin_remote_access(ThreadCtx& T, const Event& e) {
+    ++T.stats.remote_accesses;
+    const ThreadCtx& owner = thr(e.peer);
+    if (owner.proc == T.proc) {
+      // Same processor (multithreading extension): the element is in local
+      // memory — free.
+      proceed(T);
+      return;
+    }
+    if (cluster_of(owner.proc) == cluster_of(T.proc)) {
+      // Same cluster (§3.3.1 shared-memory clustering): a shared-memory
+      // transfer on the accessing CPU — fixed latency plus the per-byte
+      // copy; no messages, no owner involvement.
+      ++T.stats.intra_cluster_accesses;
+      const std::int64_t bytes = model::reply_payload_bytes(
+          params_.size_mode, e.declared_bytes, e.actual_bytes);
+      const Time cost = params_.cluster.intra_latency +
+                        params_.cluster.intra_byte_time *
+                            static_cast<double>(bytes);
+      T.stats.comm_wait += cost;
+      cpu_enqueue(T.proc, cost, false, [this, &T] { proceed(T); });
+      return;
+    }
+    const bool is_write = e.kind == EventKind::RemoteWrite;
+    const Time send_cpu = net::send_cpu_time(params_.comm);
+    T.stats.send_overhead += send_cpu;
+    Msg req;
+    req.kind = Msg::Kind::Request;
+    req.from = T.id;
+    req.to = e.peer;
+    req.declared = e.declared_bytes;
+    req.actual = e.actual_bytes;
+    req.is_write = is_write;
+    std::int64_t req_bytes = params_.comm.request_bytes;
+    if (is_write)
+      // A write request carries the payload to the owner.
+      req_bytes += model::reply_payload_bytes(params_.size_mode, e.declared_bytes,
+                                              e.actual_bytes);
+    cpu_enqueue(T.proc, send_cpu, false, [this, &T, req, req_bytes] {
+      T.state = TState::WaitReply;
+      T.wait_start = engine_.now();
+      network_.send(T.proc, thr(req.to).proc, req_bytes,
+                    [this, req] { deliver_request(req); });
+      drain_inbox(T);
+    });
+  }
+
+  void deliver_request(const Msg& req) {
+    ThreadCtx& O = thr(req.to);
+    switch (O.state) {
+      case TState::Computing:
+        switch (params_.proc.policy) {
+          case model::ServicePolicy::Interrupt: {
+            ++O.stats.interrupts_taken;
+            ++O.stats.requests_served;
+            const Time cost = params_.proc.interrupt_overhead +
+                              model::service_cpu_time(params_.comm, params_.proc);
+            O.stats.service_time += cost;
+            cpu_preempt_insert(O.proc, cost,
+                               [this, req] { send_reply(req); });
+            break;
+          }
+          case model::ServicePolicy::NoInterrupt:
+          case model::ServicePolicy::Poll:
+            O.inbox.push_back(req);
+            break;
+        }
+        break;
+      default:
+        // Waiting (reply or barrier), starting, or done: serve now.  The
+        // pC++ runtime keeps servicing remote requests even when its thread
+        // sits in a barrier or has finished (§3.3.3).
+        service_now(O, req);
+        break;
+    }
+  }
+
+  void service_now(ThreadCtx& O, const Msg& req) {
+    const Time cost = model::service_cpu_time(params_.comm, params_.proc);
+    O.stats.service_time += cost;
+    ++O.stats.requests_served;
+    cpu_enqueue(O.proc, cost, false, [this, req] { send_reply(req); });
+  }
+
+  void drain_inbox(ThreadCtx& T) {
+    while (!T.inbox.empty()) {
+      Msg req = T.inbox.front();
+      T.inbox.pop_front();
+      service_now(T, req);
+    }
+  }
+
+  void send_reply(const Msg& req) {
+    ThreadCtx& O = thr(req.to);  // owner (replier)
+    Msg rep;
+    rep.kind = Msg::Kind::Reply;
+    rep.from = req.to;
+    rep.to = req.from;
+    std::int64_t bytes;
+    if (req.is_write)
+      // Acknowledgment only; the data travelled with the request.
+      bytes = params_.comm.reply_header_bytes;
+    else
+      bytes = model::reply_message_bytes(params_.comm, params_.size_mode,
+                                         req.declared, req.actual);
+    network_.send(O.proc, thr(rep.to).proc, bytes,
+                  [this, rep] { deliver_reply(rep); });
+  }
+
+  void deliver_reply(const Msg& rep) {
+    ThreadCtx& T = thr(rep.to);
+    XP_CHECK(T.state == TState::WaitReply,
+             "reply delivered to a thread that is not waiting");
+    cpu_enqueue(T.proc, params_.comm.recv_overhead, false, [this, &T] {
+      T.stats.comm_wait += engine_.now() - T.wait_start;
+      proceed(T);
+    });
+  }
+
+  // --- barriers (§3.3.3) ---------------------------------------------------
+
+  void begin_barrier(ThreadCtx& T, std::int32_t barrier_id) {
+    T.cur_barrier = barrier_id;
+    T.wait_start = engine_.now();
+    cpu_enqueue(T.proc, params_.barrier.entry_time, false, [this, &T] {
+      T.state = TState::WaitBarrier;
+      if (use_messages()) {
+        T.self_arrived = true;
+        // Claim arrivals for this barrier that beat us here.
+        auto it = T.early_arrivals.find(T.cur_barrier);
+        if (it != T.early_arrivals.end()) {
+          T.children_arrived += it->second;
+          T.early_arrivals.erase(it);
+        }
+        check_barrier_forward(T);
+      } else {
+        analytic_arrive(T);
+      }
+      drain_inbox(T);
+    });
+  }
+
+  bool use_messages() const {
+    return params_.barrier.by_msgs &&
+           params_.barrier.alg != model::BarrierAlg::Hardware;
+  }
+
+  void check_barrier_forward(ThreadCtx& T) {
+    const auto& kids = plan_.children[static_cast<std::size_t>(T.id)];
+    if (!T.self_arrived ||
+        T.children_arrived < static_cast<int>(kids.size()))
+      return;
+    if (T.id == plan_.root) {
+      // ModelTime: master's delay before it starts lowering the barrier.
+      cpu_enqueue(T.proc, params_.barrier.model_time, false,
+                  [this, &T] { send_releases(T); });
+    } else {
+      const Time send_cpu = net::send_cpu_time(params_.comm);
+      T.stats.send_overhead += send_cpu;
+      Msg up;
+      up.kind = Msg::Kind::BarArrive;
+      up.from = T.id;
+      up.to = plan_.notify[static_cast<std::size_t>(T.id)];
+      up.barrier_id = T.cur_barrier;
+      cpu_enqueue(T.proc, send_cpu, false, [this, up] {
+        network_.send(thr(up.from).proc, thr(up.to).proc,
+                      params_.barrier.msg_size,
+                      [this, up] { deliver_bar_arrive(up); });
+      });
+    }
+  }
+
+  void deliver_bar_arrive(const Msg& m) {
+    ThreadCtx& P = thr(m.to);
+    // Receiving + checking the arrival costs the parent CPU even if it is
+    // still computing toward its own entry (message handling).
+    const Time cost = params_.comm.recv_overhead + params_.barrier.check_time;
+    P.stats.service_time += cost;
+    cpu_preempt_insert(P.proc, cost, [this, &P, m] {
+      if (P.state == TState::WaitBarrier && P.cur_barrier == m.barrier_id) {
+        ++P.children_arrived;
+        check_barrier_forward(P);
+      } else {
+        ++P.early_arrivals[m.barrier_id];
+      }
+    });
+  }
+
+  void send_releases(ThreadCtx& T) {
+    // Send release messages to children, serialized on this CPU, then exit.
+    const auto& kids = plan_.children[static_cast<std::size_t>(T.id)];
+    std::size_t i = 0;
+    send_next_release(T, kids, i);
+  }
+
+  void send_next_release(ThreadCtx& T, const std::vector<int>& kids,
+                         std::size_t i) {
+    if (i >= kids.size()) {
+      cpu_enqueue(T.proc, params_.barrier.exit_time, false,
+                  [this, &T] { barrier_exit_done(T); });
+      return;
+    }
+    const int child = kids[i];
+    const Time send_cpu = net::send_cpu_time(params_.comm);
+    T.stats.send_overhead += send_cpu;
+    Msg rel;
+    rel.kind = Msg::Kind::BarRelease;
+    rel.from = T.id;
+    rel.to = child;
+    rel.barrier_id = T.cur_barrier;
+    cpu_enqueue(T.proc, send_cpu, false, [this, &T, &kids, i, rel] {
+      network_.send(T.proc, thr(rel.to).proc, params_.barrier.msg_size,
+                    [this, rel] { deliver_bar_release(rel); });
+      send_next_release(T, kids, i + 1);
+    });
+  }
+
+  void deliver_bar_release(const Msg& m) {
+    ThreadCtx& T = thr(m.to);
+    XP_CHECK(T.state == TState::WaitBarrier && T.cur_barrier == m.barrier_id,
+             "barrier release delivered to a thread not waiting on it");
+    const Time cost = params_.comm.recv_overhead +
+                      params_.barrier.exit_check_time;
+    cpu_enqueue(T.proc, cost, false, [this, &T] {
+      // Propagate the release down the tree (linear plan has no
+      // grandchildren; LogTree does), then leave.
+      send_releases(T);
+    });
+  }
+
+  void barrier_exit_done(ThreadCtx& T) {
+    Event exit;
+    exit.thread = T.id;
+    exit.kind = EventKind::BarrierExit;
+    exit.barrier_id = T.cur_barrier;
+    emit(T, exit);
+    T.stats.barrier_wait += engine_.now() - T.wait_start;
+    T.self_arrived = false;
+    T.children_arrived = 0;
+    T.cur_barrier = -1;
+    proceed(T);
+  }
+
+  void analytic_arrive(ThreadCtx& T) {
+    AnalyticBarrier& b = analytic_[T.cur_barrier];
+    if (b.arrival.empty())
+      b.arrival.assign(static_cast<std::size_t>(n_), Time::zero());
+    b.arrival[static_cast<std::size_t>(T.id)] = engine_.now();
+    if (++b.count < n_) return;
+    const std::vector<Time> release =
+        model::analytic_release(params_.barrier, b.arrival);
+    const std::int32_t id = T.cur_barrier;
+    for (int t = 0; t < n_; ++t) {
+      const Time at = util::max(release[static_cast<std::size_t>(t)],
+                                engine_.now());
+      engine_.schedule_at(at, [this, t, id] {
+        ThreadCtx& W = thr(t);
+        XP_CHECK(W.state == TState::WaitBarrier && W.cur_barrier == id,
+                 "analytic release for a thread not in the barrier");
+        barrier_exit_done(W);
+      });
+    }
+    analytic_.erase(id);
+  }
+
+  // --- output ---------------------------------------------------------------
+
+  void emit(ThreadCtx& T, Event e) {
+    e.time = engine_.now();
+    e.thread = T.id;
+    out_events_.push_back(e);
+  }
+
+  SimParams params_;
+  int n_;
+  int n_procs_;
+  model::BarrierPlan plan_;
+  sim::Engine engine_;
+  net::Network network_;
+  std::vector<std::unique_ptr<ThreadCtx>> threads_;
+  std::vector<Cpu> cpus_;
+  std::map<std::int32_t, AnalyticBarrier> analytic_;
+  std::vector<Event> out_events_;
+};
+
+}  // namespace
+
+Time SimResult::total_compute() const {
+  Time t;
+  for (const auto& s : threads) t += s.compute;
+  return t;
+}
+
+Time SimResult::total_comm_wait() const {
+  Time t;
+  for (const auto& s : threads) t += s.comm_wait;
+  return t;
+}
+
+Time SimResult::total_barrier_wait() const {
+  Time t;
+  for (const auto& s : threads) t += s.barrier_wait;
+  return t;
+}
+
+SimResult simulate(const std::vector<trace::Trace>& translated,
+                   const SimParams& params) {
+  XP_REQUIRE(!translated.empty(), "no translated traces");
+  Simulator sim(translated, params);
+  return sim.run();
+}
+
+}  // namespace xp::core

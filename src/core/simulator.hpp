@@ -1,0 +1,67 @@
+// Trace-driven extrapolation simulator (§3.3) — second half of the paper's
+// contribution.
+//
+// Replays n translated per-thread traces against a model of the target
+// execution environment: computation intervals scaled by MipsRatio and
+// split per the service policy, remote element accesses expanded into
+// request/service/reply message exchanges over the interconnect model, and
+// barriers resolved by the (linear master-slave, logarithmic, or hardware)
+// barrier model.  Produces the extrapolated trace and a full per-thread
+// cost breakdown.
+//
+// Processor CPUs are explicit resources: every CPU-consuming activity
+// (compute chunk, message build/start-up, request service, barrier
+// bookkeeping) is serialized through its processor's queue, and only
+// compute chunks are preemptible (by the Interrupt service policy).  The
+// multithreading extension (§6) assigns several threads to one processor
+// and they share that CPU non-preemptively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/params.hpp"
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace xp::core {
+
+using model::SimParams;
+using util::Time;
+
+/// Per-thread cost breakdown of one extrapolated execution.
+struct ThreadStats {
+  Time compute;        ///< scaled computation replayed from the trace
+  Time comm_wait;      ///< blocked waiting for remote-access replies
+  Time barrier_wait;   ///< from barrier arrival to barrier exit
+  Time send_overhead;  ///< CPU spent building/starting own messages
+  Time service_time;   ///< CPU spent servicing other threads' requests
+  Time poll_time;      ///< CPU spent on poll checks
+  Time finish;         ///< time of the thread's last trace event
+  std::int64_t remote_accesses = 0;
+  std::int64_t intra_cluster_accesses = 0;  ///< served by shared memory
+  std::int64_t requests_served = 0;
+  std::int64_t interrupts_taken = 0;
+  std::int64_t polls = 0;
+};
+
+struct SimResult {
+  Time makespan;                   ///< predicted n-processor execution time
+  std::vector<ThreadStats> threads;
+  trace::Trace extrapolated;       ///< re-timestamped event stream
+  std::int64_t messages = 0;       ///< network messages (incl. barrier msgs)
+  std::int64_t bytes = 0;          ///< network bytes
+  double avg_inflight = 0.0;       ///< mean in-flight messages at injection
+  std::uint64_t engine_events = 0;
+
+  Time total_compute() const;
+  Time total_comm_wait() const;
+  Time total_barrier_wait() const;
+};
+
+/// Run the extrapolation.  `translated` must hold one trace per thread (as
+/// produced by translate()); `params` describes the target environment.
+SimResult simulate(const std::vector<trace::Trace>& translated,
+                   const SimParams& params);
+
+}  // namespace xp::core

@@ -1,0 +1,150 @@
+#include "core/translate.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace xp::core {
+
+namespace {
+Time overhead_from(const trace::Trace& t, const TranslateOptions& opt) {
+  if (!opt.remove_event_overhead) return Time::zero();
+  if (!opt.event_overhead_override.is_negative())
+    return opt.event_overhead_override;
+  const std::string s = t.meta("event_overhead_ns", "0");
+  try {
+    return Time::ns(std::stoll(s));
+  } catch (const std::logic_error&) {
+    throw util::TraceError("bad event_overhead_ns metadata: " + s);
+  }
+}
+}  // namespace
+
+std::vector<trace::Trace> translate(const trace::Trace& measured,
+                                    const TranslateOptions& opt) {
+  measured.validate();
+  const int n = measured.n_threads();
+  const Time overhead = overhead_from(measured, opt);
+
+  // Trace-buffer flush charges (§3.2): the tracer records how often it
+  // flushed and what one flush cost.  Flushes triggered by event k inflate
+  // the gap to event k+1 in *recording order*, so removal needs each
+  // event's global index.
+  std::int64_t flush_every = 0;
+  Time flush_cost;
+  if (opt.remove_event_overhead) {
+    try {
+      flush_every = std::stoll(measured.meta("flush_every", "0"));
+      flush_cost = Time::ns(std::stoll(measured.meta("flush_cost_ns", "0")));
+    } catch (const std::logic_error&) {
+      throw util::TraceError("bad flush metadata");
+    }
+  }
+  // Flushes triggered by events 0..i inclusive.
+  auto flushes_through = [flush_every](std::int64_t i) -> std::int64_t {
+    if (flush_every <= 0 || i < 0) return 0;
+    return (i + 1) / flush_every;
+  };
+  // Per-thread list of global (recording-order) event indices.
+  std::vector<std::vector<std::int64_t>> gidx(static_cast<std::size_t>(n));
+  if (flush_every > 0) {
+    std::int64_t i = 0;
+    for (const trace::Event& e : measured.events())
+      gidx[static_cast<std::size_t>(e.thread)].push_back(i++);
+  }
+
+  std::vector<trace::Trace> parts = measured.split_by_thread();
+  for (auto& p : parts) p.set_meta("translated", "1");
+
+  // Per-thread cursors.
+  struct Cursor {
+    std::size_t idx = 0;       // next event to translate
+    Time prev_measured;        // measured timestamp of previous event
+    std::int64_t prev_gidx = -1;  // global index of previous event
+    Time clock;                // translated timestamp of previous event
+    bool first = true;
+  };
+  std::vector<Cursor> cur(static_cast<std::size_t>(n));
+
+  auto global_index = [&](int t, std::size_t idx) -> std::int64_t {
+    if (flush_every <= 0) return 0;
+    return gidx[static_cast<std::size_t>(t)][idx];
+  };
+
+  // Translate one thread's events up to (and including) the next
+  // BarrierEntry, or to the end if none remains.  Returns the index of the
+  // entry event, or npos.
+  auto advance_to_entry = [&](int t) -> std::size_t {
+    Cursor& c = cur[static_cast<std::size_t>(t)];
+    auto& evs = parts[static_cast<std::size_t>(t)].mutable_events();
+    while (c.idx < evs.size()) {
+      trace::Event& e = evs[c.idx];
+      const std::int64_t g = global_index(t, c.idx);
+      if (c.first) {
+        c.first = false;
+        c.prev_measured = e.time;
+        c.clock = Time::zero();
+      } else {
+        Time delta = e.time - c.prev_measured - overhead;
+        if (flush_every > 0)
+          delta -= flush_cost * static_cast<double>(
+                                    flushes_through(g - 1) -
+                                    flushes_through(c.prev_gidx - 1));
+        if (delta.is_negative()) delta = Time::zero();
+        c.prev_measured = e.time;
+        c.clock += delta;
+      }
+      c.prev_gidx = g;
+      e.time = c.clock;
+      const bool is_entry = e.kind == trace::EventKind::BarrierEntry;
+      ++c.idx;
+      if (is_entry) return c.idx - 1;
+    }
+    return static_cast<std::size_t>(-1);
+  };
+
+  // validate() guarantees every thread passes the same barrier sequence, so
+  // we can process barrier instances in lockstep.
+  for (;;) {
+    std::vector<std::size_t> entry_idx(static_cast<std::size_t>(n));
+    int entries_found = 0;
+    Time release = Time::zero();
+    for (int t = 0; t < n; ++t) {
+      entry_idx[static_cast<std::size_t>(t)] = advance_to_entry(t);
+      if (entry_idx[static_cast<std::size_t>(t)] != static_cast<std::size_t>(-1)) {
+        ++entries_found;
+        release = util::max(release, cur[static_cast<std::size_t>(t)].clock);
+      }
+    }
+    if (entries_found == 0) break;
+    XP_CHECK(entries_found == n,
+             "barrier sequences diverged despite validation");
+
+    // The matching BarrierExit is the next event of each thread; align it
+    // to the latest entry (threads leave as soon as the last one arrives).
+    for (int t = 0; t < n; ++t) {
+      Cursor& c = cur[static_cast<std::size_t>(t)];
+      auto& evs = parts[static_cast<std::size_t>(t)].mutable_events();
+      XP_CHECK(c.idx < evs.size(), "BarrierEntry without following event");
+      trace::Event& exit = evs[c.idx];
+      XP_CHECK(exit.kind == trace::EventKind::BarrierExit,
+               "BarrierEntry not followed by BarrierExit in thread stream");
+      c.prev_measured = exit.time;
+      c.prev_gidx = global_index(t, c.idx);
+      c.clock = release;
+      exit.time = release;
+      ++c.idx;
+    }
+  }
+
+  return parts;
+}
+
+Time ideal_parallel_time(const std::vector<trace::Trace>& translated) {
+  XP_REQUIRE(!translated.empty(), "no translated traces");
+  Time t = Time::zero();
+  for (const auto& p : translated) t = util::max(t, p.end_time());
+  return t;
+}
+
+}  // namespace xp::core

@@ -1,0 +1,48 @@
+// Trace translation (§3.2) — first half of the paper's contribution.
+//
+// Input: the merged trace of an n-thread program measured on ONE processor
+// (threads interleaved on a single clock, switching only at barriers).
+// Output: n per-thread traces whose timestamps reflect the *ideal* parallel
+// execution of the same threads on n processors:
+//
+//   * non-synchronization events keep their per-thread inter-event deltas
+//     (t2' = t2 - t1 + t1'),
+//   * every BarrierExit is aligned to the latest translated BarrierEntry of
+//     that barrier instance (instant barriers),
+//   * each thread's first event moves to time zero,
+//   * per-event instrumentation overhead recorded by the tracer is removed
+//     from the deltas.
+//
+// The result assumes instant remote accesses, instant barriers, and
+// unperturbed computation; the simulator (core/simulator.hpp) then adds the
+// target environment's costs back in.
+#pragma once
+
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace xp::core {
+
+using util::Time;
+
+struct TranslateOptions {
+  /// Remove the per-event instrumentation overhead stored in the trace
+  /// metadata ("event_overhead_ns") from every inter-event delta.
+  bool remove_event_overhead = true;
+  /// Override the overhead value (negative = use the trace metadata).
+  Time event_overhead_override = Time::ns(-1);
+};
+
+/// Translate a measured 1-processor trace into n idealized per-thread
+/// traces.  The input is validated; throws util::TraceError on structural
+/// problems.
+std::vector<trace::Trace> translate(const trace::Trace& measured,
+                                    const TranslateOptions& opt = {});
+
+/// Makespan of a translated trace set: the ideal n-processor execution time
+/// under zero communication/synchronization cost.
+Time ideal_parallel_time(const std::vector<trace::Trace>& translated);
+
+}  // namespace xp::core

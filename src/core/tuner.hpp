@@ -1,0 +1,50 @@
+// Runtime-system tuning by extrapolation (§4.1's closing point).
+//
+// "If a polling policy must be used, a port of pC++ requires the choice of
+// polling interval.  An optimal choice of the polling interval is
+// certainly system and likely problem specific.  All of these questions
+// can be explored with extrapolation."
+//
+// These helpers run the exploration: given one set of translated traces,
+// they re-simulate under candidate configurations and report the winner.
+// Measurements are never repeated — only simulations.
+#pragma once
+
+#include <vector>
+
+#include "core/simulator.hpp"
+
+namespace xp::core {
+
+struct PollTuneResult {
+  Time best_interval;
+  Time best_time;
+  /// (interval, predicted time) for every candidate, in input order.
+  std::vector<std::pair<Time, Time>> tried;
+};
+
+/// Default candidate intervals: 10 us .. 5 ms, roughly logarithmic.
+const std::vector<Time>& default_poll_intervals();
+
+/// Find the polling interval minimizing predicted execution time.
+/// `params.proc.policy` is forced to Poll for each trial.
+PollTuneResult tune_poll_interval(
+    const std::vector<trace::Trace>& translated, SimParams params,
+    const std::vector<Time>& candidates = default_poll_intervals());
+
+struct PolicyChoice {
+  model::ServicePolicy policy;
+  Time poll_interval;  ///< meaningful only when policy == Poll
+  Time predicted;
+  /// Predicted time for every policy considered:
+  /// [NoInterrupt, Interrupt, best Poll].
+  Time no_interrupt_time, interrupt_time, poll_time;
+};
+
+/// Compare all three service policies (polling at its tuned interval) and
+/// return the best configuration for this program/environment.
+PolicyChoice choose_service_policy(
+    const std::vector<trace::Trace>& translated, SimParams params,
+    const std::vector<Time>& poll_candidates = default_poll_intervals());
+
+}  // namespace xp::core

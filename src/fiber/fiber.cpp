@@ -1,0 +1,28 @@
+#include "fiber/fiber.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::fiber {
+
+const char* to_string(FiberState s) {
+  switch (s) {
+    case FiberState::Ready:
+      return "ready";
+    case FiberState::Running:
+      return "running";
+    case FiberState::Blocked:
+      return "blocked";
+    case FiberState::Finished:
+      return "finished";
+  }
+  return "?";
+}
+
+Fiber::Fiber(int id, std::function<void()> body, std::size_t stack_bytes)
+    : id_(id), body_(std::move(body)), stack_bytes_(stack_bytes) {
+  XP_REQUIRE(stack_bytes_ >= 16 * 1024, "fiber stack too small (<16 KiB)");
+  XP_REQUIRE(static_cast<bool>(body_), "fiber body must be callable");
+  stack_ = std::make_unique<char[]>(stack_bytes_);
+}
+
+}  // namespace xp::fiber

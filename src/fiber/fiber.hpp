@@ -1,0 +1,56 @@
+// Non-preemptive user-level threads (fibers).
+//
+// This is the repository's stand-in for the AWESIME threads package the
+// paper used to run all n threads of a pC++ program on one processor.  The
+// property the trace-translation algorithm relies on — threads switch ONLY
+// at synchronization boundaries (barrier entry/exit, remote waits) — is
+// guaranteed here by construction: a fiber runs until it explicitly yields
+// or blocks; there is no preemption.
+//
+// Control always passes fiber -> scheduler -> fiber (never fiber -> fiber),
+// which keeps the scheduler logic trivial and the switch points auditable.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xp::fiber {
+
+enum class FiberState { Ready, Running, Blocked, Finished };
+
+const char* to_string(FiberState s);
+
+class Scheduler;
+
+/// One cooperative thread of control with its own stack.
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
+
+  Fiber(int id, std::function<void()> body, std::size_t stack_bytes);
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  int id() const { return id_; }
+  FiberState state() const { return state_; }
+
+ private:
+  friend class Scheduler;
+
+  int id_;
+  FiberState state_ = FiberState::Ready;
+  std::function<void()> body_;
+  std::unique_ptr<char[]> stack_;
+  std::size_t stack_bytes_;
+  ucontext_t ctx_{};
+  bool started_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace xp::fiber

@@ -1,0 +1,133 @@
+// HPF-flavored array layer (§6: "Another direction is to apply this work
+// to other language systems, like HPF").
+//
+// The extrapolation technique needs only a deterministic data-parallel
+// execution model with barrier-delimited phases and owner-computes remote
+// reads — exactly what HPF array statements compile to.  This veneer maps
+// the HPF vocabulary onto the pC++-model runtime so HPF-style programs
+// trace, translate, and extrapolate with zero new model support:
+//
+//   DistArray<T>      !HPF$ DISTRIBUTE A(BLOCK) / A(CYCLIC)
+//   forall            FORALL (i=...) A(i) = expr(i)
+//   cshift            CSHIFT(A, shift)      — boundary-crossing remote reads
+//   eoshift           EOSHIFT(A, shift, b)
+//   sum / maxval      SUM(A) / MAXVAL(A)    — reduction through thread 0
+//   dot_product       DOT_PRODUCT(A, B)
+//
+// All operations are collectives (every thread participates) ending in a
+// global barrier, per the data-parallel phase model.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+
+#include "rt/collection.hpp"
+#include "rt/collectives.hpp"
+#include "rt/invoke.hpp"
+#include "rt/runtime.hpp"
+#include "util/error.hpp"
+
+namespace xp::hpf {
+
+/// A one-dimensional distributed array (HPF DISTRIBUTE directive).
+template <typename T>
+class DistArray {
+ public:
+  DistArray(rt::Runtime& rt, std::int64_t extent, rt::Dist dist = rt::Dist::Block)
+      : rt_(&rt),
+        data_(rt, rt::Distribution::d1(dist, extent, rt.n_threads())),
+        scratch_(rt, rt::Distribution::d1(rt::Dist::Block, rt.n_threads(),
+                                          rt.n_threads())) {}
+
+  std::int64_t extent() const { return data_.size(); }
+  rt::Collection<T>& storage() { return data_; }
+  /// Per-thread scratch usable by reductions over co-distributed arrays.
+  rt::Collection<T>& reduction_scratch() { return scratch_; }
+
+  /// Sequential initialization (setup() only).
+  T& init(std::int64_t i) { return data_.init(i); }
+
+  /// Element read inside a parallel phase; remote if not owned.
+  const T& operator()(std::int64_t i) {
+    return data_.get(i, static_cast<std::int32_t>(sizeof(T)));
+  }
+
+  /// FORALL (i = 0:extent-1)  this(i) = fn(i).  Collective.
+  template <typename F>
+  void forall(F&& fn) {
+    rt::parallel_invoke(*rt_, data_,
+                        [&fn](T& out, std::int64_t i) { out = fn(i); }, 1.0);
+  }
+
+  /// SUM(this).  Collective; every thread receives the result.
+  T sum() {
+    T part{};
+    const auto& mine = data_.my_elements();
+    for (std::int64_t i : mine) part = part + data_.local(i);
+    rt_->compute_flops(static_cast<double>(mine.size()));
+    return rt::allreduce_linear(
+        *rt_, scratch_, part, [](T a, T b) { return a + b; }, T{});
+  }
+
+  /// MAXVAL(this).  Collective.
+  T maxval() {
+    XP_REQUIRE(extent() > 0, "maxval of an empty array");
+    const auto& mine = data_.my_elements();
+    // Threads owning nothing contribute the globally-first element.
+    T part = data_.get(0, static_cast<std::int32_t>(sizeof(T)));
+    for (std::int64_t i : mine) part = std::max(part, data_.local(i));
+    rt_->compute_flops(static_cast<double>(mine.size()));
+    return rt::allreduce_linear(
+        *rt_, scratch_, part, [](T a, T b) { return std::max(a, b); }, part);
+  }
+
+ private:
+  rt::Runtime* rt_;
+  rt::Collection<T> data_;
+  rt::Collection<T> scratch_;
+};
+
+/// dst = CSHIFT(src, shift): dst(i) = src((i + shift) mod n).  Collective;
+/// elements crossing a distribution boundary arrive as remote reads.
+template <typename T>
+void cshift(rt::Runtime& rt, DistArray<T>& dst, DistArray<T>& src,
+            std::int64_t shift) {
+  const std::int64_t n = src.extent();
+  XP_REQUIRE(dst.extent() == n, "cshift extents differ");
+  rt::parallel_invoke(rt, dst.storage(), [&](T& out, std::int64_t i) {
+    const std::int64_t j = ((i + shift) % n + n) % n;
+    out = src.storage().get(j, static_cast<std::int32_t>(sizeof(T)));
+  });
+}
+
+/// dst = EOSHIFT(src, shift, boundary): out-of-range positions take the
+/// boundary value instead of wrapping.
+template <typename T>
+void eoshift(rt::Runtime& rt, DistArray<T>& dst, DistArray<T>& src,
+             std::int64_t shift, T boundary) {
+  const std::int64_t n = src.extent();
+  XP_REQUIRE(dst.extent() == n, "eoshift extents differ");
+  rt::parallel_invoke(rt, dst.storage(), [&](T& out, std::int64_t i) {
+    const std::int64_t j = i + shift;
+    out = (j < 0 || j >= n)
+              ? boundary
+              : src.storage().get(j, static_cast<std::int32_t>(sizeof(T)));
+  });
+}
+
+/// DOT_PRODUCT(a, b).  Collective; the arrays must share a distribution
+/// extent (alignment is the caller's concern, as in HPF).
+template <typename T>
+T dot_product(rt::Runtime& rt, DistArray<T>& a, DistArray<T>& b) {
+  XP_REQUIRE(a.extent() == b.extent(), "dot_product extents differ");
+  T part{};
+  const auto& mine = a.storage().my_elements();
+  for (std::int64_t i : mine)
+    part = part + a.storage().local(i) *
+                      b.storage().get(i, static_cast<std::int32_t>(sizeof(T)));
+  rt.compute_flops(2.0 * static_cast<double>(mine.size()));
+  return rt::allreduce_linear(rt, a.reduction_scratch(), part,
+                              [](T x, T y) { return x + y; }, T{});
+}
+
+}  // namespace xp::hpf

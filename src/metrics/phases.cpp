@@ -1,0 +1,134 @@
+#include "metrics/phases.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "metrics/metrics.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace xp::metrics {
+
+using trace::Event;
+using trace::EventKind;
+
+Time PhaseProfile::max_busy() const {
+  Time m;
+  for (const Time& b : busy) m = util::max(m, b);
+  return m;
+}
+
+Time PhaseProfile::mean_busy() const {
+  if (busy.empty()) return Time::zero();
+  Time total;
+  for (const Time& b : busy) total += b;
+  return total / static_cast<double>(busy.size());
+}
+
+double PhaseProfile::imbalance() const {
+  const Time mean = mean_busy();
+  if (mean.is_zero()) return 0.0;
+  return max_busy() / mean - 1.0;
+}
+
+std::int64_t PhaseProfile::total_accesses() const {
+  std::int64_t n = 0;
+  for (std::int64_t a : remote_accesses) n += a;
+  return n;
+}
+
+std::vector<PhaseProfile> profile_phases(const trace::Trace& t) {
+  t.validate();
+  const int n = t.n_threads();
+  const auto parts = t.split_by_thread();
+
+  std::vector<PhaseProfile> phases;
+  // Per-thread cursor state: start time of the current phase.
+  std::vector<std::size_t> idx(static_cast<std::size_t>(n), 0);
+  std::vector<Time> phase_start(static_cast<std::size_t>(n));
+  for (int th = 0; th < n; ++th)
+    phase_start[static_cast<std::size_t>(th)] =
+        parts[static_cast<std::size_t>(th)].events().front().time;
+
+  // Walk barrier by barrier (validation guarantees identical sequences).
+  for (;;) {
+    PhaseProfile ph;
+    ph.busy.assign(static_cast<std::size_t>(n), Time::zero());
+    ph.remote_accesses.assign(static_cast<std::size_t>(n), 0);
+    ph.begin = Time::max();
+    bool found_barrier = false;
+    Time release;
+
+    for (int th = 0; th < n; ++th) {
+      const auto& evs = parts[static_cast<std::size_t>(th)].events();
+      auto& i = idx[static_cast<std::size_t>(th)];
+      const Time start = phase_start[static_cast<std::size_t>(th)];
+      ph.begin = util::min(ph.begin, start);
+      Time entry_time = start;
+      bool ended = false;
+      while (i < evs.size()) {
+        const Event& e = evs[i];
+        ++i;
+        if (trace::is_remote(e.kind))
+          ++ph.remote_accesses[static_cast<std::size_t>(th)];
+        if (e.kind == EventKind::BarrierEntry) {
+          entry_time = e.time;
+          // The matching exit follows.
+          XP_CHECK(i < evs.size() &&
+                       evs[i].kind == EventKind::BarrierExit,
+                   "entry without exit despite validation");
+          ph.barrier_id = e.barrier_id;
+          release = util::max(release, evs[i].time);
+          phase_start[static_cast<std::size_t>(th)] = evs[i].time;
+          ++i;
+          found_barrier = true;
+          ended = true;
+          break;
+        }
+        entry_time = e.time;
+      }
+      if (!ended) {
+        // Tail phase: runs to the thread's last event.
+        if (!evs.empty()) entry_time = evs.back().time;
+        release = util::max(release, entry_time);
+      }
+      ph.busy[static_cast<std::size_t>(th)] = entry_time - start;
+    }
+
+    ph.end = release;
+    if (!found_barrier) {
+      // Tail (no more barriers): emit only if it has any substance.
+      ph.barrier_id = -1;
+      if (ph.end > ph.begin) phases.push_back(std::move(ph));
+      break;
+    }
+    phases.push_back(std::move(ph));
+  }
+  return phases;
+}
+
+std::string render_phase_table(const std::vector<PhaseProfile>& phases) {
+  XP_REQUIRE(!phases.empty(), "no phases to render");
+  util::Table t({"phase", "barrier", "duration", "max busy", "imbalance %",
+                 "remote accesses"});
+  std::size_t costliest = 0, most_skewed = 0;
+  for (std::size_t i = 1; i < phases.size(); ++i) {
+    if (phases[i].duration() > phases[costliest].duration()) costliest = i;
+    if (phases[i].imbalance() > phases[most_skewed].imbalance())
+      most_skewed = i;
+  }
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const PhaseProfile& p = phases[i];
+    std::string tag = std::to_string(i);
+    if (i == costliest) tag += " <=cost";
+    if (i == most_skewed && p.imbalance() > 0.01) tag += " <=skew";
+    t.add_row({tag,
+               p.barrier_id >= 0 ? std::to_string(p.barrier_id) : "(tail)",
+               p.duration().str(), p.max_busy().str(),
+               util::Table::fixed(100 * p.imbalance(), 1),
+               std::to_string(p.total_accesses())});
+  }
+  return t.to_text();
+}
+
+}  // namespace xp::metrics

@@ -1,0 +1,51 @@
+// Per-phase profiling of data-parallel executions.
+//
+// In the pC++ execution model a program is a sequence of data-parallel
+// phases separated by global barriers.  Performance debugging (§2: metrics
+// "assist the user ... to identify performance bottlenecks") needs to know
+// WHICH phase loses the time: this module slices a trace at its barriers
+// and reports, per phase, the duration, the per-thread busy/communication
+// split, and the load imbalance — for measured, translated, or
+// extrapolated traces alike.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace xp::metrics {
+
+using util::Time;
+
+struct PhaseProfile {
+  std::int32_t barrier_id = -1;  ///< barrier ENDING the phase (-1 = tail)
+  Time begin;                    ///< earliest thread entry into the phase
+  Time end;                      ///< barrier release (or last event)
+  Time duration() const { return end - begin; }
+
+  /// Per-thread time from phase begin to that thread's barrier entry
+  /// (its busy span; the rest of the phase is barrier wait).
+  std::vector<Time> busy;
+  /// Remote accesses issued inside the phase, per thread.
+  std::vector<std::int64_t> remote_accesses;
+
+  Time max_busy() const;
+  Time mean_busy() const;
+  /// max/mean - 1 over the busy spans (0 = perfectly balanced phase).
+  double imbalance() const;
+  std::int64_t total_accesses() const;
+};
+
+/// Slice a trace into its barrier-delimited phases.  Phase k spans from the
+/// previous barrier's exit (or ThreadBegin) to barrier k's exit; a final
+/// element covers any tail after the last barrier.  The trace must satisfy
+/// the data-parallel validation invariants.
+std::vector<PhaseProfile> profile_phases(const trace::Trace& t);
+
+/// Render the profiles as an aligned table (one row per phase), flagging
+/// the costliest phase and the worst-balanced phase.
+std::string render_phase_table(const std::vector<PhaseProfile>& phases);
+
+}  // namespace xp::metrics

@@ -1,0 +1,82 @@
+#include "metrics/report.hpp"
+
+#include <sstream>
+
+#include "util/chart.hpp"
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace xp::metrics {
+
+using util::Table;
+
+std::string render_prediction(const core::Prediction& p,
+                              bool per_thread_table) {
+  std::ostringstream os;
+  os << "threads: " << p.n_threads << '\n'
+     << "measured 1-proc time : " << p.measured_time.str() << '\n'
+     << "ideal parallel time  : " << p.ideal_time.str() << '\n'
+     << "predicted time       : " << p.predicted_time.str() << '\n';
+  const Breakdown b = breakdown(p.sim);
+  os << "breakdown: compute " << Table::fixed(100 * b.compute, 1)
+     << "%  comm-wait " << Table::fixed(100 * b.comm_wait, 1)
+     << "%  barrier " << Table::fixed(100 * b.barrier_wait, 1)
+     << "%  service " << Table::fixed(100 * b.service, 1) << "%  overhead "
+     << Table::fixed(100 * b.overhead, 1) << "%  idle "
+     << Table::fixed(100 * b.idle, 1) << "%\n";
+  os << "messages: " << p.sim.messages << "  bytes: " << p.sim.bytes
+     << "  avg in-flight: " << Table::fixed(p.sim.avg_inflight, 2) << '\n';
+  os << "trace: " << p.measured_summary.str() << '\n';
+  if (per_thread_table) {
+    Table t({"thr", "compute", "comm-wait", "barrier", "service", "sends",
+             "finish", "accesses", "served"});
+    for (std::size_t i = 0; i < p.sim.threads.size(); ++i) {
+      const auto& s = p.sim.threads[i];
+      t.add_row({std::to_string(i), s.compute.str(), s.comm_wait.str(),
+                 s.barrier_wait.str(), s.service_time.str(),
+                 s.send_overhead.str(), s.finish.str(),
+                 std::to_string(s.remote_accesses),
+                 std::to_string(s.requests_served)});
+    }
+    os << t.to_text();
+  }
+  return os.str();
+}
+
+std::string render_curves(const std::string& title,
+                          const std::vector<Curve>& curves,
+                          const std::string& value_name, bool chart,
+                          bool log_y) {
+  XP_REQUIRE(!curves.empty(), "no curves to render");
+  const std::vector<int>& procs = curves.front().procs;
+  for (const auto& c : curves)
+    XP_REQUIRE(c.procs == procs && c.values.size() == procs.size(),
+               "curves must share processor counts");
+
+  std::ostringstream os;
+  os << title << " (" << value_name << ")\n";
+  std::vector<std::string> headers{"procs"};
+  for (const auto& c : curves) headers.push_back(c.label);
+  Table t(headers);
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    std::vector<std::string> row{std::to_string(procs[i])};
+    for (const auto& c : curves) row.push_back(Table::num(c.values[i], 4));
+    t.add_row(std::move(row));
+  }
+  os << t.to_text();
+
+  if (chart) {
+    std::vector<double> xs;
+    for (int p : procs) xs.push_back(static_cast<double>(p));
+    std::vector<util::Series> series;
+    for (const auto& c : curves) series.push_back({c.label, c.values});
+    util::ChartOptions opt;
+    opt.x_label = "processors";
+    opt.y_label = value_name;
+    opt.log_y = log_y;
+    os << util::line_chart(xs, series, opt);
+  }
+  return os.str();
+}
+
+}  // namespace xp::metrics

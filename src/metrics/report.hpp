@@ -1,0 +1,24 @@
+// Human-readable reports for predictions and experiment curves.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/extrapolator.hpp"
+#include "metrics/metrics.hpp"
+
+namespace xp::metrics {
+
+/// One-prediction report: predicted/ideal/measured times, cost breakdown,
+/// message statistics, per-thread table.
+std::string render_prediction(const core::Prediction& p,
+                              bool per_thread_table = false);
+
+/// Curves over processor counts as an aligned table (one row per processor
+/// count, one column per curve) followed by an ASCII chart.
+std::string render_curves(const std::string& title,
+                          const std::vector<Curve>& curves,
+                          const std::string& value_name, bool chart = true,
+                          bool log_y = false);
+
+}  // namespace xp::metrics

@@ -1,0 +1,98 @@
+#include "metrics/scalability.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/table.hpp"
+
+namespace xp::metrics {
+
+double karp_flatt(double speedup, int n) {
+  XP_REQUIRE(n > 1, "Karp-Flatt needs n > 1");
+  XP_REQUIRE(speedup > 0, "Karp-Flatt needs a positive speedup");
+  const double inv_s = 1.0 / speedup;
+  const double inv_n = 1.0 / static_cast<double>(n);
+  return (inv_s - inv_n) / (1.0 - inv_n);
+}
+
+double ScalabilityReport::projected_speedup(int n) const {
+  XP_REQUIRE(n >= 1, "projection needs n >= 1");
+  const double f = amdahl_f;
+  return 1.0 / (f + (1.0 - f) / static_cast<double>(n));
+}
+
+double ScalabilityReport::max_speedup() const {
+  if (amdahl_f <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / amdahl_f;
+}
+
+ScalabilityReport analyze_scalability(const std::vector<int>& procs,
+                                      const std::vector<Time>& times) {
+  XP_REQUIRE(procs.size() == times.size() && procs.size() >= 2,
+             "scalability needs matching procs/times with >= 2 points");
+  XP_REQUIRE(procs.front() == 1, "the first entry must be the 1-processor "
+                                 "baseline");
+  for (std::size_t i = 1; i < procs.size(); ++i)
+    XP_REQUIRE(procs[i] > procs[i - 1], "processor counts must increase");
+  for (const Time& t : times)
+    XP_REQUIRE(t > Time::zero(), "times must be positive");
+
+  ScalabilityReport r;
+  r.procs = procs;
+  r.times = times;
+  const double t1 = times.front().to_us();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    const double s = t1 / times[i].to_us();
+    r.speedups.push_back(s);
+    if (procs[i] > 1) r.serial_fraction.push_back(karp_flatt(s, procs[i]));
+  }
+
+  // Least-squares Amdahl fit:  T(n) - T1/n  =  f * T1 (1 - 1/n).
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 1; i < procs.size(); ++i) {
+    const double inv_n = 1.0 / static_cast<double>(procs[i]);
+    const double a = times[i].to_us() - t1 * inv_n;
+    const double b = t1 * (1.0 - inv_n);
+    num += a * b;
+    den += b * b;
+  }
+  r.amdahl_f = den > 0 ? std::clamp(num / den, 0.0, 1.0) : 0.0;
+  return r;
+}
+
+std::string render_scalability(const ScalabilityReport& r) {
+  std::ostringstream os;
+  util::Table t({"procs", "time", "speedup", "efficiency %",
+                 "Karp-Flatt serial %"});
+  std::size_t kf = 0;
+  for (std::size_t i = 0; i < r.procs.size(); ++i) {
+    std::string serial = "-";
+    if (r.procs[i] > 1)
+      serial = util::Table::fixed(100 * r.serial_fraction[kf++], 2);
+    t.add_row({std::to_string(r.procs[i]), r.times[i].str(),
+               util::Table::fixed(r.speedups[i], 2),
+               util::Table::fixed(100 * r.speedups[i] / r.procs[i], 1),
+               serial});
+  }
+  os << t.to_text();
+  os << "\nAmdahl fit: serial fraction "
+     << util::Table::fixed(100 * r.amdahl_f, 2) << "%";
+  if (std::isinf(r.max_speedup()))
+    os << " (no serial bound detected)";
+  else
+    os << ", asymptotic speedup bound " << util::Table::fixed(r.max_speedup(), 1);
+  os << "\nprojected speedup: 64 procs " << util::Table::fixed(
+            r.projected_speedup(64), 2)
+     << ", 256 procs " << util::Table::fixed(r.projected_speedup(256), 2)
+     << '\n';
+  if (r.serial_fraction.size() >= 2 &&
+      r.serial_fraction.back() > 1.5 * r.serial_fraction.front())
+    os << "note: the Karp-Flatt fraction grows with n — overhead "
+          "(communication/synchronization) dominates, not serial code.\n";
+  return os.str();
+}
+
+}  // namespace xp::metrics

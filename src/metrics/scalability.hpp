@@ -1,0 +1,48 @@
+// Scalability analysis of extrapolated executions.
+//
+// The paper positions extrapolation as the data source for scalability
+// studies (its companion work, reference [15], models scalability
+// analytically).  Given predicted times over processor counts, this module
+// computes the classic diagnostics:
+//
+//  * Karp–Flatt experimentally determined serial fraction
+//      f(n) = (1/S(n) - 1/n) / (1 - 1/n)
+//    — growing f(n) indicates overhead growing with n (communication /
+//    synchronization), flat f(n) indicates a genuinely serial component;
+//  * a least-squares Amdahl fit T(n) = T1 (f + (1-f)/n), with projected
+//    speedups for machine sizes that were never simulated.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace xp::metrics {
+
+using util::Time;
+
+/// Karp–Flatt metric; n must be > 1 and speedup positive.
+double karp_flatt(double speedup, int n);
+
+struct ScalabilityReport {
+  std::vector<int> procs;
+  std::vector<Time> times;
+  std::vector<double> speedups;         ///< vs the first (1-processor) entry
+  std::vector<double> serial_fraction;  ///< Karp–Flatt per n (skips n = 1)
+  double amdahl_f = 0.0;                ///< fitted serial fraction
+
+  /// Amdahl-projected speedup at an arbitrary processor count.
+  double projected_speedup(int n) const;
+  /// Amdahl's asymptotic speedup bound, 1/f (infinity-safe).
+  double max_speedup() const;
+};
+
+/// Analyze a time curve.  `procs` must start at 1 (the baseline) and be
+/// strictly increasing; `times` must be positive.
+ScalabilityReport analyze_scalability(const std::vector<int>& procs,
+                                      const std::vector<Time>& times);
+
+std::string render_scalability(const ScalabilityReport& r);
+
+}  // namespace xp::metrics

@@ -1,0 +1,125 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::metrics {
+
+using trace::Event;
+using trace::EventKind;
+
+char activity_glyph(Activity a) {
+  switch (a) {
+    case Activity::Compute:
+      return '=';
+    case Activity::CommWait:
+      return '~';
+    case Activity::BarrierWait:
+      return '#';
+    case Activity::Idle:
+      return '.';
+  }
+  return '?';
+}
+
+std::vector<std::vector<Segment>> build_timeline(const trace::Trace& t) {
+  XP_REQUIRE(t.n_threads() > 0, "timeline needs a thread count");
+  const auto parts = t.split_by_thread();
+  std::vector<std::vector<Segment>> out(parts.size());
+
+  for (std::size_t th = 0; th < parts.size(); ++th) {
+    const auto& evs = parts[th].events();
+    auto& segs = out[th];
+    if (evs.empty()) continue;
+    // Leading idle until ThreadBegin.
+    if (evs.front().time > Time::zero())
+      segs.push_back({Time::zero(), evs.front().time, Activity::Idle});
+    for (std::size_t i = 0; i + 1 < evs.size(); ++i) {
+      const Event& cur = evs[i];
+      const Event& next = evs[i + 1];
+      if (next.time <= cur.time) continue;  // zero-length gap
+      Activity a = Activity::Compute;
+      if (cur.kind == EventKind::BarrierEntry &&
+          next.kind == EventKind::BarrierExit)
+        a = Activity::BarrierWait;
+      else if (trace::is_remote(cur.kind))
+        a = Activity::CommWait;
+      segs.push_back({cur.time, next.time, a});
+    }
+  }
+  return out;
+}
+
+ActivityTotals totals(const std::vector<Segment>& segments, Time end) {
+  ActivityTotals t;
+  Time covered;
+  for (const Segment& s : segments) {
+    const Time len = s.end - s.begin;
+    covered += len;
+    switch (s.what) {
+      case Activity::Compute:
+        t.compute += len;
+        break;
+      case Activity::CommWait:
+        t.comm += len;
+        break;
+      case Activity::BarrierWait:
+        t.barrier += len;
+        break;
+      case Activity::Idle:
+        t.idle += len;
+        break;
+    }
+  }
+  if (end > covered) t.idle += end - covered;
+  return t;
+}
+
+std::string render_timeline(const trace::Trace& t, int width) {
+  XP_REQUIRE(width >= 8, "timeline needs at least 8 columns");
+  const auto timeline = build_timeline(t);
+  const Time end = t.end_time();
+  std::ostringstream os;
+  if (end.is_zero()) {
+    os << "(empty timeline)\n";
+    return os.str();
+  }
+
+  for (std::size_t th = 0; th < timeline.size(); ++th) {
+    std::string row(static_cast<std::size_t>(width), '.');
+    for (const Segment& s : timeline[th]) {
+      auto col = [&](Time x) {
+        return std::clamp<int>(
+            static_cast<int>(x / end * width), 0, width - 1);
+      };
+      const int a = col(s.begin), b = col(s.end);
+      for (int c = a; c <= b; ++c)
+        row[static_cast<std::size_t>(c)] = activity_glyph(s.what);
+    }
+    char label[24];
+    std::snprintf(label, sizeof label, "%3zu |", th);
+    os << label << row << "|\n";
+  }
+  os << "    0" << std::string(static_cast<std::size_t>(width) - 1, ' ')
+     << end.str() << "\n"
+     << "    = compute   ~ comm wait   # barrier wait   . idle\n";
+  return os.str();
+}
+
+double load_imbalance(const core::SimResult& r) {
+  if (r.threads.empty()) return 0.0;
+  Time total, maxc;
+  for (const auto& s : r.threads) {
+    total += s.compute;
+    maxc = util::max(maxc, s.compute);
+  }
+  if (total.is_zero()) return 0.0;
+  const double mean =
+      total.to_us() / static_cast<double>(r.threads.size());
+  if (mean <= 0) return 0.0;
+  return maxc.to_us() / mean - 1.0;
+}
+
+}  // namespace xp::metrics

@@ -1,0 +1,56 @@
+// Execution timelines from extrapolated traces.
+//
+// The extrapolated event stream is enough to reconstruct what every
+// processor was doing when: computing between ordinary events, waiting for
+// a reply after a remote access, or stalled between barrier entry and
+// exit.  The ASCII Gantt rendering makes the predicted execution visible
+// the way the paper's performance-debugging workflow needs — which
+// processors idle, where the barriers line up, where communication
+// serializes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/simulator.hpp"
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace xp::metrics {
+
+using util::Time;
+
+enum class Activity : std::uint8_t {
+  Compute,      ///< between ordinary events
+  CommWait,     ///< after a remote access, until the next event
+  BarrierWait,  ///< between barrier entry and exit
+  Idle,         ///< before ThreadBegin / after ThreadEnd
+};
+
+char activity_glyph(Activity a);
+
+struct Segment {
+  Time begin, end;
+  Activity what = Activity::Compute;
+};
+
+/// Per-thread activity segments reconstructed from an extrapolated (or
+/// translated) trace.  Segments are contiguous and cover [0, end_time].
+std::vector<std::vector<Segment>> build_timeline(const trace::Trace& t);
+
+/// Aggregate time spent per activity for one thread's segments.
+struct ActivityTotals {
+  Time compute, comm, barrier, idle;
+};
+ActivityTotals totals(const std::vector<Segment>& segments, Time end);
+
+/// ASCII Gantt chart: one row per thread, `width` columns over
+/// [0, end_time].  Glyphs: '=' compute, '~' communication wait,
+/// '#' barrier wait, '.' idle.
+std::string render_timeline(const trace::Trace& t, int width = 72);
+
+/// Load imbalance of an extrapolated run: max over threads of
+/// compute-time divided by the mean, minus 1 (0 = perfectly balanced).
+double load_imbalance(const core::SimResult& r);
+
+}  // namespace xp::metrics

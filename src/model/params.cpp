@@ -1,0 +1,231 @@
+#include "model/params.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::model {
+
+const char* to_string(BarrierAlg a) {
+  switch (a) {
+    case BarrierAlg::Linear:
+      return "linear";
+    case BarrierAlg::LogTree:
+      return "logtree";
+    case BarrierAlg::Hardware:
+      return "hardware";
+  }
+  return "?";
+}
+
+const char* to_string(ServicePolicy p) {
+  switch (p) {
+    case ServicePolicy::NoInterrupt:
+      return "no-interrupt";
+    case ServicePolicy::Interrupt:
+      return "interrupt";
+    case ServicePolicy::Poll:
+      return "poll";
+  }
+  return "?";
+}
+
+const char* to_string(TransferSizeMode m) {
+  return m == TransferSizeMode::Declared ? "declared" : "actual";
+}
+
+void SimParams::validate(int n_threads) const {
+  using util::ParamError;
+  if (n_threads <= 0) throw ParamError("thread count must be positive");
+  if (proc.mips_ratio <= 0) throw ParamError("MipsRatio must be positive");
+  if (proc.policy == ServicePolicy::Poll && proc.poll_interval <= Time::zero())
+    throw ParamError("poll policy requires a positive PollInterval");
+  if (proc.n_procs < 0 || proc.n_procs > n_threads)
+    throw ParamError("n_procs must be in [0, n_threads]");
+  if (barrier.msg_size < 0) throw ParamError("BarrierMsgSize must be >= 0");
+  if (comm.byte_transfer.is_negative() || comm.comm_startup.is_negative() ||
+      comm.msg_build.is_negative() || comm.recv_overhead.is_negative() ||
+      comm.hop_latency.is_negative())
+    throw ParamError("communication costs must be >= 0");
+  if (comm.request_bytes < 0 || comm.reply_header_bytes < 0)
+    throw ParamError("message framing sizes must be >= 0");
+  if (barrier.entry_time.is_negative() || barrier.exit_time.is_negative() ||
+      barrier.check_time.is_negative() ||
+      barrier.exit_check_time.is_negative() ||
+      barrier.model_time.is_negative())
+    throw ParamError("barrier costs must be >= 0");
+  if (proc.poll_overhead.is_negative() ||
+      proc.interrupt_overhead.is_negative() ||
+      proc.request_service.is_negative())
+    throw ParamError("service costs must be >= 0");
+  if (cluster.procs_per_cluster < 1)
+    throw ParamError("procs_per_cluster must be >= 1");
+  if (cluster.intra_latency.is_negative() ||
+      cluster.intra_byte_time.is_negative())
+    throw ParamError("intra-cluster costs must be >= 0");
+}
+
+std::string SimParams::str() const {
+  std::ostringstream os;
+  os << "mips_ratio=" << proc.mips_ratio << " policy=" << to_string(proc.policy)
+     << " sizes=" << to_string(size_mode) << " net="
+     << net::to_string(network.topology) << " " << comm.str()
+     << " barrier{entry=" << barrier.entry_time.str()
+     << " model=" << barrier.model_time.str()
+     << " bymsgs=" << (barrier.by_msgs ? 1 : 0) << "}";
+  return os.str();
+}
+
+SimParams distributed_preset() {
+  SimParams p;
+  // 20 MB/s links: 0.05 us per byte.
+  p.comm.byte_transfer = Time::us(0.05);
+  // "relatively high communication overheads"
+  p.comm.comm_startup = Time::us(100.0);
+  p.comm.msg_build = Time::us(5.0);
+  p.comm.recv_overhead = Time::us(5.0);
+  p.comm.hop_latency = Time::us(0.5);
+  p.network.topology = net::TopologyKind::FatTree;
+  p.network.contention.enabled = true;
+  p.network.contention.factor = 1.0;
+  // Table 1 example values; message-based barrier => high sync cost.
+  p.barrier = BarrierParams{};
+  p.proc.policy = ServicePolicy::Interrupt;
+  p.size_mode = TransferSizeMode::Declared;
+  return p;
+}
+
+SimParams shared_memory_preset() {
+  SimParams p;
+  // 200 MB/s transfer approximating shared-memory remote access.
+  p.comm.byte_transfer = Time::us(0.005);
+  p.comm.comm_startup = Time::us(5.0);
+  p.comm.msg_build = Time::us(0.5);
+  p.comm.recv_overhead = Time::us(0.5);
+  p.comm.hop_latency = Time::us(0.1);
+  p.comm.request_bytes = 16;
+  p.comm.reply_header_bytes = 0;
+  p.network.topology = net::TopologyKind::Crossbar;
+  p.network.contention.enabled = true;
+  p.network.contention.factor = 0.5;
+  p.barrier.by_msgs = false;
+  p.barrier.entry_time = Time::us(1.0);
+  p.barrier.exit_time = Time::us(1.0);
+  p.barrier.check_time = Time::us(0.5);
+  p.barrier.exit_check_time = Time::us(0.5);
+  p.barrier.model_time = Time::us(2.0);
+  p.proc.policy = ServicePolicy::Interrupt;
+  p.proc.request_service = Time::us(0.5);
+  p.proc.interrupt_overhead = Time::us(1.0);
+  return p;
+}
+
+SimParams ideal_preset() {
+  SimParams p;
+  p.comm.byte_transfer = Time::zero();
+  p.comm.comm_startup = Time::zero();
+  p.comm.msg_build = Time::zero();
+  p.comm.recv_overhead = Time::zero();
+  p.comm.hop_latency = Time::zero();
+  p.comm.request_bytes = 0;
+  p.comm.reply_header_bytes = 0;
+  p.network.topology = net::TopologyKind::Crossbar;
+  p.network.contention.enabled = false;
+  p.barrier.entry_time = Time::zero();
+  p.barrier.exit_time = Time::zero();
+  p.barrier.check_time = Time::zero();
+  p.barrier.exit_check_time = Time::zero();
+  p.barrier.model_time = Time::zero();
+  p.barrier.by_msgs = false;
+  p.barrier.msg_size = 0;
+  p.proc.policy = ServicePolicy::Interrupt;
+  p.proc.request_service = Time::zero();
+  p.proc.interrupt_overhead = Time::zero();
+  p.proc.poll_overhead = Time::zero();
+  return p;
+}
+
+SimParams cm5_preset() {
+  SimParams p;
+  // Table 3.
+  p.barrier.model_time = Time::us(5.0);
+  p.comm.comm_startup = Time::us(10.0);
+  p.comm.byte_transfer = Time::us(0.118);  // 8.5 MB/s
+  p.proc.mips_ratio = 0.41;                // Sun 4 (1.1360) / CM-5 (2.7645)
+  // Supporting values from the CM-5 literature ([13,17] in the paper):
+  p.comm.msg_build = Time::us(1.0);
+  p.comm.recv_overhead = Time::us(2.0);
+  p.comm.hop_latency = Time::us(0.2);
+  p.network.topology = net::TopologyKind::FatTree;
+  p.network.contention.enabled = true;
+  p.network.contention.factor = 1.0;
+  p.barrier.by_msgs = true;
+  p.barrier.msg_size = 16;
+  p.barrier.entry_time = Time::us(2.0);
+  p.barrier.exit_time = Time::us(2.0);
+  p.barrier.check_time = Time::us(1.0);
+  p.barrier.exit_check_time = Time::us(1.0);
+  p.proc.policy = ServicePolicy::Interrupt;  // CM-5 active messages
+  p.proc.interrupt_overhead = Time::us(3.0);
+  p.proc.request_service = Time::us(2.0);
+  p.size_mode = TransferSizeMode::Actual;
+  return p;
+}
+
+SimParams paragon_preset() {
+  SimParams p;
+  // i860XP nodes (~10 scalar MFLOPS) on a 2D mesh with a message
+  // coprocessor: fast links, moderate setup, interrupt-style service.
+  p.proc.mips_ratio = 1.1360 / 10.0;
+  p.comm.comm_startup = Time::us(40.0);
+  p.comm.byte_transfer = Time::us(0.0057);  // ~175 MB/s
+  p.comm.msg_build = Time::us(2.0);
+  p.comm.recv_overhead = Time::us(3.0);
+  p.comm.hop_latency = Time::us(0.04);
+  p.network.topology = net::TopologyKind::Mesh2D;
+  p.network.contention.enabled = true;
+  p.network.contention.factor = 1.0;
+  p.barrier.by_msgs = true;
+  p.barrier.msg_size = 32;
+  p.barrier.model_time = Time::us(8.0);
+  p.proc.policy = ServicePolicy::Interrupt;
+  p.size_mode = TransferSizeMode::Actual;
+  return p;
+}
+
+SimParams sp1_preset() {
+  SimParams p;
+  // POWER1 nodes (~25 scalar MFLOPS) on a multistage switch: high
+  // per-message setup, decent bandwidth, polling-based MPL service.
+  p.proc.mips_ratio = 1.1360 / 25.0;
+  p.comm.comm_startup = Time::us(56.0);
+  p.comm.byte_transfer = Time::us(0.028);  // ~35 MB/s
+  p.comm.msg_build = Time::us(4.0);
+  p.comm.recv_overhead = Time::us(5.0);
+  p.comm.hop_latency = Time::us(0.3);
+  p.network.topology = net::TopologyKind::Crossbar;
+  p.network.contention.enabled = true;
+  p.network.contention.factor = 0.8;
+  p.barrier.by_msgs = true;
+  p.barrier.msg_size = 64;
+  p.barrier.model_time = Time::us(12.0);
+  p.proc.policy = ServicePolicy::Poll;
+  p.proc.poll_interval = Time::us(200.0);
+  p.size_mode = TransferSizeMode::Actual;
+  return p;
+}
+
+SimParams sgi_shared_preset() {
+  SimParams p = shared_memory_preset();
+  // Bus-based shared memory: remote accesses are cheap cache/bus
+  // transfers but the single bus saturates under concurrent traffic.
+  p.proc.mips_ratio = 1.1360 / 15.0;
+  p.network.topology = net::TopologyKind::Bus;
+  p.network.contention.enabled = true;
+  p.network.contention.factor = 1.0;
+  p.network.contention.max_multiplier = 16.0;
+  p.size_mode = TransferSizeMode::Actual;
+  return p;
+}
+
+}  // namespace xp::model

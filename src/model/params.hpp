@@ -1,0 +1,132 @@
+// Simulation parameters — the complete knob set of §3.3.
+//
+// Names follow the paper: MipsRatio, CommStartupTime, ByteTransferTime,
+// the Table 1 barrier parameters, and the remote-access service policies
+// (no-interrupt / interrupt / poll).  SimParams composes the processor,
+// remote-data-access, and barrier component parameters together with the
+// network description; presets capture the parameter sets used by each
+// experiment in §4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/message_cost.hpp"
+#include "net/network.hpp"
+#include "util/time.hpp"
+
+namespace xp::model {
+
+using util::Time;
+
+/// Barrier synchronization algorithm (§3.3.3: linear master-slave is the
+/// paper's model; logarithmic and hardware variants are its suggested
+/// substitutions).
+enum class BarrierAlg : std::uint8_t { Linear, LogTree, Hardware };
+const char* to_string(BarrierAlg a);
+
+/// Table 1 — Parameters for the Barrier Model.
+struct BarrierParams {
+  Time entry_time = Time::us(5.0);       ///< EntryTime
+  Time exit_time = Time::us(5.0);        ///< ExitTime
+  Time check_time = Time::us(2.0);       ///< CheckTime (master, per arrival)
+  Time exit_check_time = Time::us(2.0);  ///< ExitCheckTime (slave, at release)
+  Time model_time = Time::us(10.0);      ///< ModelTime (master, before lowering)
+  bool by_msgs = true;                   ///< BarrierByMsgs
+  std::int32_t msg_size = 128;           ///< BarrierMsgSize
+  BarrierAlg alg = BarrierAlg::Linear;
+};
+
+/// Remote-data-access service policies (§3.3.1).
+enum class ServicePolicy : std::uint8_t {
+  NoInterrupt,  ///< serve only while waiting (barrier / reply)
+  Interrupt,    ///< arrival interrupts computation
+  Poll,         ///< serve at poll-interval boundaries within computation
+};
+const char* to_string(ServicePolicy p);
+
+struct ProcessorParams {
+  /// Scales measured computation times: simulated = measured * mips_ratio
+  /// (2.0 = a 2x slower target processor, 0.5 = 2x faster; 0.41 = Sun 4 to
+  /// CM-5 per §3.3.1).
+  double mips_ratio = 1.0;
+
+  ServicePolicy policy = ServicePolicy::Interrupt;
+  Time poll_interval = Time::us(100.0);
+  Time poll_overhead = Time::us(1.0);      ///< CPU cost of one poll check
+  Time interrupt_overhead = Time::us(5.0); ///< CPU cost of taking an interrupt
+  Time request_service = Time::us(2.0);    ///< owner CPU per request served
+
+  /// Multithreading extension (§6): number of physical processors hosting
+  /// the n threads.  0 means one processor per thread (the paper's main
+  /// configuration); otherwise threads are assigned round-robin to
+  /// n_procs <= n_threads processors and share each CPU non-preemptively.
+  int n_procs = 0;
+};
+
+/// Shared-memory clustering (§3.3.1): processors are grouped into clusters
+/// of `procs_per_cluster`; a remote access whose owner lives in the same
+/// cluster is a shared-memory transfer (fixed latency + per-byte copy on
+/// the accessing CPU, no messages, no owner involvement), while accesses
+/// between clusters go through the message-passing protocol.  Composes with
+/// the multithreading extension: threads on ONE processor share memory
+/// directly; threads on different processors of one cluster pay the
+/// shared-memory transfer.
+struct ClusterParams {
+  int procs_per_cluster = 1;  ///< 1 = no clustering (the paper's default)
+  /// Fixed cost of an intra-cluster shared-memory access.
+  Time intra_latency = Time::us(1.0);
+  /// Per-byte copy cost within a cluster (200 MB/s default).
+  Time intra_byte_time = Time::us(0.005);
+};
+
+/// Which transfer size drives reply-message cost — the §4.1 Grid story:
+/// the original measurement charged the compiler-declared whole-element
+/// size (231456 bytes for the grid element); the optimizing compiler
+/// actually moves 2–128 bytes.
+enum class TransferSizeMode : std::uint8_t { Declared, Actual };
+const char* to_string(TransferSizeMode m);
+
+struct SimParams {
+  net::CommParams comm;
+  net::NetworkParams network;
+  BarrierParams barrier;
+  ProcessorParams proc;
+  ClusterParams cluster;
+  TransferSizeMode size_mode = TransferSizeMode::Declared;
+
+  /// Throws util::ParamError on inconsistent values.
+  void validate(int n_threads) const;
+
+  std::string str() const;
+};
+
+/// Presets ------------------------------------------------------------------
+
+/// Figure 4 parameter set: "a distributed memory platform with modest
+/// communication link bandwidth (20 Mbytes/second), but relatively high
+/// communication overheads and synchronization costs."
+SimParams distributed_preset();
+
+/// Shared-memory-like transfer: 200 MB/s links, small start-up, barriers
+/// through shared memory (no messages).
+SimParams shared_memory_preset();
+
+/// Null communication and synchronization costs ("ideal execution
+/// environment", Figure 5).
+SimParams ideal_preset();
+
+/// Table 3 — parameters matching the CM-5: BarrierModelTime 5 us,
+/// CommStartupTime 10 us, ByteTransferTime 0.118 us (8.5 MB/s), MipsRatio
+/// 0.41, fat-tree network, interrupt service (active messages).
+SimParams cm5_preset();
+
+/// Historically plausible approximations of the other platforms pC++ was
+/// ported to (the paper's portability motivation).  NOT calibrated from
+/// the paper — provided for cross-machine "what if" studies and documented
+/// as extensions in EXPERIMENTS.md.
+SimParams paragon_preset();     ///< Intel Paragon: 2D mesh, fast links
+SimParams sp1_preset();         ///< IBM SP-1: multistage switch, slow setup
+SimParams sgi_shared_preset();  ///< bus-based shared-memory multiprocessor
+
+}  // namespace xp::model

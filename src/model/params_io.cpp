@@ -1,0 +1,320 @@
+#include "model/params_io.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::model {
+
+namespace {
+
+using util::ParamError;
+
+[[noreturn]] void bad(const std::string& what, const std::string& line) {
+  throw ParamError(what + ": \"" + line + "\"");
+}
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+double to_double(const std::string& v, const std::string& line) {
+  try {
+    std::size_t pos = 0;
+    const double d = std::stod(v, &pos);
+    if (pos != v.size()) bad("trailing characters in number", line);
+    return d;
+  } catch (const std::logic_error&) {
+    bad("expected a number", line);
+  }
+}
+
+long to_int(const std::string& v, const std::string& line) {
+  try {
+    std::size_t pos = 0;
+    const long d = std::stol(v, &pos);
+    if (pos != v.size()) bad("trailing characters in integer", line);
+    return d;
+  } catch (const std::logic_error&) {
+    bad("expected an integer", line);
+  }
+}
+
+bool to_bool(const std::string& v, const std::string& line) {
+  if (v == "1" || v == "true" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "off") return false;
+  bad("expected a boolean (0/1/true/false/on/off)", line);
+}
+
+ServicePolicy to_policy(const std::string& v, const std::string& line) {
+  if (v == "no-interrupt" || v == "none") return ServicePolicy::NoInterrupt;
+  if (v == "interrupt") return ServicePolicy::Interrupt;
+  if (v == "poll") return ServicePolicy::Poll;
+  bad("expected a policy (no-interrupt|interrupt|poll)", line);
+}
+
+BarrierAlg to_alg(const std::string& v, const std::string& line) {
+  if (v == "linear") return BarrierAlg::Linear;
+  if (v == "logtree") return BarrierAlg::LogTree;
+  if (v == "hardware") return BarrierAlg::Hardware;
+  bad("expected a barrier algorithm (linear|logtree|hardware)", line);
+}
+
+net::TopologyKind to_topology(const std::string& v, const std::string& line) {
+  for (auto k : {net::TopologyKind::Bus, net::TopologyKind::Ring,
+                 net::TopologyKind::Mesh2D, net::TopologyKind::Torus2D,
+                 net::TopologyKind::Hypercube, net::TopologyKind::FatTree,
+                 net::TopologyKind::Crossbar})
+    if (v == net::to_string(k)) return k;
+  bad("unknown topology", line);
+}
+
+TransferSizeMode to_size_mode(const std::string& v, const std::string& line) {
+  if (v == "declared") return TransferSizeMode::Declared;
+  if (v == "actual") return TransferSizeMode::Actual;
+  bad("expected a size mode (declared|actual)", line);
+}
+
+// One setter per key; keeps parse and serialize in sync via the same list.
+using Setter =
+    std::function<void(SimParams&, const std::string&, const std::string&)>;
+
+const std::map<std::string, Setter>& setters() {
+  static const std::map<std::string, Setter> map = {
+      {"proc.mips_ratio",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.proc.mips_ratio = to_double(v, l);
+       }},
+      {"proc.policy",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.proc.policy = to_policy(v, l);
+       }},
+      {"proc.poll_interval_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.proc.poll_interval = Time::us(to_double(v, l));
+       }},
+      {"proc.poll_overhead_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.proc.poll_overhead = Time::us(to_double(v, l));
+       }},
+      {"proc.interrupt_overhead_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.proc.interrupt_overhead = Time::us(to_double(v, l));
+       }},
+      {"proc.request_service_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.proc.request_service = Time::us(to_double(v, l));
+       }},
+      {"proc.n_procs",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.proc.n_procs = static_cast<int>(to_int(v, l));
+       }},
+      {"comm.startup_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.comm.comm_startup = Time::us(to_double(v, l));
+       }},
+      {"comm.byte_transfer_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.comm.byte_transfer = Time::us(to_double(v, l));
+       }},
+      {"comm.msg_build_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.comm.msg_build = Time::us(to_double(v, l));
+       }},
+      {"comm.recv_overhead_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.comm.recv_overhead = Time::us(to_double(v, l));
+       }},
+      {"comm.hop_latency_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.comm.hop_latency = Time::us(to_double(v, l));
+       }},
+      {"comm.request_bytes",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.comm.request_bytes = static_cast<std::int32_t>(to_int(v, l));
+       }},
+      {"comm.reply_header_bytes",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.comm.reply_header_bytes = static_cast<std::int32_t>(to_int(v, l));
+       }},
+      {"network.topology",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.network.topology = to_topology(v, l);
+       }},
+      {"network.contention",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.network.contention.enabled = to_bool(v, l);
+       }},
+      {"network.contention_factor",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.network.contention.factor = to_double(v, l);
+       }},
+      {"network.contention_cap",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.network.contention.max_multiplier = to_double(v, l);
+       }},
+      {"barrier.entry_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.entry_time = Time::us(to_double(v, l));
+       }},
+      {"barrier.exit_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.exit_time = Time::us(to_double(v, l));
+       }},
+      {"barrier.check_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.check_time = Time::us(to_double(v, l));
+       }},
+      {"barrier.exit_check_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.exit_check_time = Time::us(to_double(v, l));
+       }},
+      {"barrier.model_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.model_time = Time::us(to_double(v, l));
+       }},
+      {"barrier.by_msgs",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.by_msgs = to_bool(v, l);
+       }},
+      {"barrier.msg_size",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.msg_size = static_cast<std::int32_t>(to_int(v, l));
+       }},
+      {"barrier.alg",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.barrier.alg = to_alg(v, l);
+       }},
+      {"cluster.procs_per_cluster",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.cluster.procs_per_cluster = static_cast<int>(to_int(v, l));
+       }},
+      {"cluster.intra_latency_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.cluster.intra_latency = Time::us(to_double(v, l));
+       }},
+      {"cluster.intra_byte_us",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.cluster.intra_byte_time = Time::us(to_double(v, l));
+       }},
+      {"size_mode",
+       [](SimParams& p, const std::string& v, const std::string& l) {
+         p.size_mode = to_size_mode(v, l);
+       }},
+  };
+  return map;
+}
+
+}  // namespace
+
+SimParams preset_by_name(const std::string& name) {
+  if (name == "distributed") return distributed_preset();
+  if (name == "shared") return shared_memory_preset();
+  if (name == "ideal") return ideal_preset();
+  if (name == "cm5") return cm5_preset();
+  if (name == "paragon") return paragon_preset();
+  if (name == "sp1") return sp1_preset();
+  if (name == "sgi") return sgi_shared_preset();
+  if (name == "default") return SimParams{};
+  throw ParamError(
+      "unknown preset: " + name +
+      " (distributed|shared|ideal|cm5|paragon|sp1|sgi|default)");
+}
+
+SimParams parse_params(std::istream& is) {
+  SimParams p;
+  std::string line;
+  bool first_directive = true;
+  while (std::getline(is, line)) {
+    const std::string stripped = trim(line.substr(0, line.find('#')));
+    if (stripped.empty()) continue;
+    const auto eq = stripped.find('=');
+    if (eq == std::string::npos) bad("expected key = value", line);
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    if (key.empty() || value.empty()) bad("empty key or value", line);
+    if (key == "preset") {
+      if (!first_directive)
+        bad("preset must be the first directive", line);
+      p = preset_by_name(value);
+      first_directive = false;
+      continue;
+    }
+    first_directive = false;
+    const auto it = setters().find(key);
+    if (it == setters().end()) bad("unknown parameter key", line);
+    it->second(p, value, line);
+  }
+  return p;
+}
+
+SimParams parse_params_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_params(is);
+}
+
+SimParams load_params(const std::string& path) {
+  std::ifstream is(path);
+  XP_REQUIRE(is.good(), "cannot open parameter file: " + path);
+  return parse_params(is);
+}
+
+std::string serialize_params(const SimParams& p) {
+  std::ostringstream os;
+  auto us = [](Time t) {
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.6g", t.to_us());
+    return std::string(buf);
+  };
+  os << "proc.mips_ratio = " << p.proc.mips_ratio << '\n'
+     << "proc.policy = " << to_string(p.proc.policy) << '\n'
+     << "proc.poll_interval_us = " << us(p.proc.poll_interval) << '\n'
+     << "proc.poll_overhead_us = " << us(p.proc.poll_overhead) << '\n'
+     << "proc.interrupt_overhead_us = " << us(p.proc.interrupt_overhead)
+     << '\n'
+     << "proc.request_service_us = " << us(p.proc.request_service) << '\n'
+     << "proc.n_procs = " << p.proc.n_procs << '\n'
+     << "comm.startup_us = " << us(p.comm.comm_startup) << '\n'
+     << "comm.byte_transfer_us = " << us(p.comm.byte_transfer) << '\n'
+     << "comm.msg_build_us = " << us(p.comm.msg_build) << '\n'
+     << "comm.recv_overhead_us = " << us(p.comm.recv_overhead) << '\n'
+     << "comm.hop_latency_us = " << us(p.comm.hop_latency) << '\n'
+     << "comm.request_bytes = " << p.comm.request_bytes << '\n'
+     << "comm.reply_header_bytes = " << p.comm.reply_header_bytes << '\n'
+     << "network.topology = " << net::to_string(p.network.topology) << '\n'
+     << "network.contention = " << (p.network.contention.enabled ? 1 : 0)
+     << '\n'
+     << "network.contention_factor = " << p.network.contention.factor << '\n'
+     << "network.contention_cap = " << p.network.contention.max_multiplier
+     << '\n'
+     << "barrier.entry_us = " << us(p.barrier.entry_time) << '\n'
+     << "barrier.exit_us = " << us(p.barrier.exit_time) << '\n'
+     << "barrier.check_us = " << us(p.barrier.check_time) << '\n'
+     << "barrier.exit_check_us = " << us(p.barrier.exit_check_time) << '\n'
+     << "barrier.model_us = " << us(p.barrier.model_time) << '\n'
+     << "barrier.by_msgs = " << (p.barrier.by_msgs ? 1 : 0) << '\n'
+     << "barrier.msg_size = " << p.barrier.msg_size << '\n'
+     << "barrier.alg = " << to_string(p.barrier.alg) << '\n'
+     << "cluster.procs_per_cluster = " << p.cluster.procs_per_cluster << '\n'
+     << "cluster.intra_latency_us = " << us(p.cluster.intra_latency) << '\n'
+     << "cluster.intra_byte_us = " << us(p.cluster.intra_byte_time) << '\n'
+     << "size_mode = " << to_string(p.size_mode) << '\n';
+  return os.str();
+}
+
+void save_params(const SimParams& p, const std::string& path) {
+  std::ofstream os(path);
+  XP_REQUIRE(os.good(), "cannot open parameter file for write: " + path);
+  os << serialize_params(p);
+  XP_REQUIRE(os.good(), "write failed: " + path);
+}
+
+}  // namespace xp::model

@@ -1,0 +1,39 @@
+// Parameter-set files.
+//
+// The paper's experiments were driven by named parameter sets ("we created
+// several parameter sets, each varying a particular parameter across some
+// range").  This module reads and writes SimParams as simple `key = value`
+// text, so experiment configurations live in files instead of code:
+//
+//     # CM-5-ish, but with a slow network
+//     preset = cm5
+//     comm.byte_transfer_us = 0.5
+//     proc.policy = poll
+//     proc.poll_interval_us = 250
+//
+// An optional `preset` key (first) seeds the values from a named preset;
+// every other key overrides one field.  Unknown keys are errors (typos
+// must not silently change an experiment).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/params.hpp"
+
+namespace xp::model {
+
+/// Parse a parameter set; throws util::ParamError with the offending line
+/// on malformed input or unknown keys.
+SimParams parse_params(std::istream& is);
+SimParams parse_params_string(const std::string& text);
+SimParams load_params(const std::string& path);
+
+/// Serialize every field (round-trips through parse_params).
+std::string serialize_params(const SimParams& p);
+void save_params(const SimParams& p, const std::string& path);
+
+/// Resolve a preset by name (distributed | shared | ideal | cm5 | default).
+SimParams preset_by_name(const std::string& name);
+
+}  // namespace xp::model

@@ -1,0 +1,42 @@
+#include "model/processor_model.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::model {
+
+Time scale_compute(const ProcessorParams& p, Time measured) {
+  XP_REQUIRE(!measured.is_negative(), "negative computation interval");
+  return measured * p.mips_ratio;
+}
+
+std::vector<Time> poll_chunks(const ProcessorParams& p, Time scaled) {
+  XP_REQUIRE(!scaled.is_negative(), "negative computation interval");
+  std::vector<Time> out;
+  if (scaled.is_zero()) return out;
+  if (p.policy != ServicePolicy::Poll) {
+    out.push_back(scaled);
+    return out;
+  }
+  Time left = scaled;
+  while (left > p.poll_interval) {
+    out.push_back(p.poll_interval);
+    left -= p.poll_interval;
+  }
+  out.push_back(left);
+  return out;
+}
+
+int effective_procs(const ProcessorParams& p, int n_threads) {
+  XP_REQUIRE(n_threads > 0, "thread count must be positive");
+  if (p.n_procs == 0) return n_threads;
+  XP_REQUIRE(p.n_procs > 0 && p.n_procs <= n_threads,
+             "n_procs must be in [1, n_threads]");
+  return p.n_procs;
+}
+
+int proc_of_thread(const ProcessorParams& p, int thread, int n_threads) {
+  XP_REQUIRE(thread >= 0 && thread < n_threads, "thread id out of range");
+  return thread % effective_procs(p, n_threads);
+}
+
+}  // namespace xp::model

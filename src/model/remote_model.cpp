@@ -1,0 +1,29 @@
+#include "model/remote_model.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::model {
+
+std::int64_t reply_payload_bytes(TransferSizeMode mode,
+                                 std::int32_t declared_bytes,
+                                 std::int32_t actual_bytes) {
+  XP_REQUIRE(actual_bytes >= 0 && declared_bytes >= actual_bytes,
+             "inconsistent transfer sizes");
+  return mode == TransferSizeMode::Declared ? declared_bytes : actual_bytes;
+}
+
+std::int64_t reply_message_bytes(const net::CommParams& comm,
+                                 TransferSizeMode mode,
+                                 std::int32_t declared_bytes,
+                                 std::int32_t actual_bytes) {
+  return comm.reply_header_bytes +
+         reply_payload_bytes(mode, declared_bytes, actual_bytes);
+}
+
+Time service_cpu_time(const net::CommParams& comm,
+                      const ProcessorParams& proc) {
+  return comm.recv_overhead + proc.request_service + comm.msg_build +
+         comm.comm_startup;
+}
+
+}  // namespace xp::model

@@ -1,0 +1,31 @@
+// Remote data access model helpers (§3.3.2, Figure 3).
+//
+// A remote access is a request message from the accessing thread to the
+// owner, serviced by the owner, answered with a reply carrying the data.
+// These helpers compute the message sizes and fixed CPU costs; the protocol
+// itself is driven by the simulators.
+#pragma once
+
+#include <cstdint>
+
+#include "model/params.hpp"
+
+namespace xp::model {
+
+/// Payload bytes a reply carries for an access with the two recorded sizes,
+/// under the selected size mode.
+std::int64_t reply_payload_bytes(TransferSizeMode mode,
+                                 std::int32_t declared_bytes,
+                                 std::int32_t actual_bytes);
+
+/// Total reply message size (payload + header).
+std::int64_t reply_message_bytes(const net::CommParams& comm,
+                                 TransferSizeMode mode,
+                                 std::int32_t declared_bytes,
+                                 std::int32_t actual_bytes);
+
+/// Owner CPU time to service one request and emit the reply (receive the
+/// request, locate the element, build + start the reply).
+Time service_cpu_time(const net::CommParams& comm, const ProcessorParams& proc);
+
+}  // namespace xp::model

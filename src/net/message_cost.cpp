@@ -1,0 +1,30 @@
+#include "net/message_cost.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::net {
+
+std::string CommParams::str() const {
+  std::ostringstream os;
+  os << "startup=" << comm_startup.str() << " perbyte=" << byte_transfer.str()
+     << " build=" << msg_build.str() << " recv=" << recv_overhead.str()
+     << " hop=" << hop_latency.str();
+  return os.str();
+}
+
+Time send_cpu_time(const CommParams& p) { return p.msg_build + p.comm_startup; }
+
+Time wire_time(const CommParams& p, int hops, std::int64_t bytes,
+               double contention_multiplier) {
+  XP_REQUIRE(hops >= 0, "negative hop count");
+  XP_REQUIRE(bytes >= 0, "negative message size");
+  XP_REQUIRE(contention_multiplier >= 1.0, "contention multiplier < 1");
+  const Time routing = p.hop_latency * static_cast<double>(hops);
+  const Time transfer =
+      p.byte_transfer * (static_cast<double>(bytes) * contention_multiplier);
+  return routing + transfer;
+}
+
+}  // namespace xp::net

@@ -1,0 +1,49 @@
+// Analytic message cost model (§3.3.2).
+//
+// The paper's remote-access performance estimates are "mostly analytical":
+// a message's cost decomposes into sender CPU overheads (message
+// construction + communication start-up), wire time (per-hop latency plus
+// byte transfer at the link bandwidth), and receiver CPU overhead.  The
+// contention multiplier is supplied by the contention model from live
+// simulation state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.hpp"
+#include "util/time.hpp"
+
+namespace xp::net {
+
+using util::Time;
+
+struct CommParams {
+  /// CommStartupTime: sender CPU cost to initiate a transfer.
+  Time comm_startup = Time::us(10.0);
+  /// ByteTransferTime: wire time per byte (0.118 us/B = 8.5 MB/s, CM-5).
+  Time byte_transfer = Time::us(0.118);
+  /// Message construction overhead (marshalling) on the sender CPU.
+  Time msg_build = Time::us(1.0);
+  /// Receive handling overhead on the destination CPU per message.
+  Time recv_overhead = Time::us(2.0);
+  /// Per-hop switch/router latency.
+  Time hop_latency = Time::us(0.5);
+  /// Size of a remote-data *request* message (no payload).
+  std::int32_t request_bytes = 32;
+  /// Header bytes added to every *reply* payload.
+  std::int32_t reply_header_bytes = 16;
+
+  std::string str() const;
+};
+
+/// Sender-side CPU time consumed before a message enters the network.
+Time send_cpu_time(const CommParams& p);
+
+/// Wire time for `bytes` over `hops` hops with a contention multiplier
+/// applied to the bandwidth term (contention stretches transfer, not the
+/// fixed routing latency).
+Time wire_time(const CommParams& p, int hops, std::int64_t bytes,
+               double contention_multiplier);
+
+}  // namespace xp::net

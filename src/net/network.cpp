@@ -1,0 +1,34 @@
+#include "net/network.hpp"
+
+#include <utility>
+
+#include "util/error.hpp"
+
+namespace xp::net {
+
+Network::Network(sim::Engine& engine, const CommParams& comm,
+                 const NetworkParams& params, int n_procs)
+    : engine_(engine),
+      comm_(comm),
+      topo_(params.topology, n_procs),
+      contention_(params.contention, topo_) {}
+
+void Network::send(int src, int dst, std::int64_t bytes,
+                   std::function<void()> on_delivery) {
+  const Time wire = preview_wire(src, dst, bytes);
+  contention_.inject();
+  ++messages_;
+  bytes_ += bytes;
+  wire_stat_.add(wire.to_us());
+  engine_.schedule_after(wire, [this, cb = std::move(on_delivery)] {
+    contention_.deliver();
+    cb();
+  });
+}
+
+Time Network::preview_wire(int src, int dst, std::int64_t bytes) const {
+  return wire_time(comm_, topo_.hops(src, dst), bytes,
+                   contention_.multiplier());
+}
+
+}  // namespace xp::net

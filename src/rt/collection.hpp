@@ -1,0 +1,118 @@
+// pC++-style distributed collections.
+//
+// A Collection<T> is a distributed aggregate of elements of type T living in
+// a global space (as in the paper's measurement runtime, where "elements of
+// a collection are allocated in a global space accessible by all the
+// threads").  Ownership is defined by a Distribution; reads of non-owned
+// elements notify the runtime (which traces them or charges simulated
+// communication), then copy directly from the global space — remote data is
+// therefore always value-correct and only its *timing* is modeled.
+//
+// `declared_elem_bytes` is the transfer size the pC++ compiler would
+// declare for a whole collection element.  Real accesses pass the bytes
+// they actually need; both sizes land in the trace (see trace/event.hpp and
+// the Figure 5 investigation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/distribution.hpp"
+#include "rt/runtime.hpp"
+#include "util/error.hpp"
+
+namespace xp::rt {
+
+template <typename T>
+class Collection {
+ public:
+  Collection(Runtime& rt, Distribution dist,
+             std::int32_t declared_elem_bytes = static_cast<std::int32_t>(sizeof(T)))
+      : rt_(&rt),
+        dist_(std::move(dist)),
+        declared_bytes_(declared_elem_bytes),
+        data_(static_cast<std::size_t>(dist_.size())) {
+    XP_REQUIRE(declared_bytes_ >= static_cast<std::int32_t>(sizeof(T)),
+               "declared element size smaller than the element type");
+  }
+
+  const Distribution& dist() const { return dist_; }
+  std::int64_t size() const { return dist_.size(); }
+  std::int32_t declared_elem_bytes() const { return declared_bytes_; }
+
+  int owner(std::int64_t idx) const { return dist_.owner(idx); }
+
+  /// Ownership-checked access to a local element (current thread must own).
+  T& local(std::int64_t idx) {
+    XP_REQUIRE(dist_.owner(idx) == rt_->thread_id(),
+               "local() on a non-owned element");
+    return data_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Read an element; a non-owned element is a traced/modeled remote read.
+  /// `actual_bytes` is the size the optimized access really transfers
+  /// (defaults to the whole T).
+  const T& get(std::int64_t idx,
+               std::int32_t actual_bytes = static_cast<std::int32_t>(sizeof(T))) {
+    const int own = dist_.owner(idx);
+    if (own != rt_->thread_id())
+      rt_->on_remote_read(own, idx, declared_bytes_, actual_bytes);
+    return data_[static_cast<std::size_t>(idx)];
+  }
+
+  /// Write an element; a non-owned element is a remote write (the pC++
+  /// extension discussed in §5 — allowed, but the benchmark codes avoid
+  /// timing-dependent uses).
+  void put(std::int64_t idx, const T& v,
+           std::int32_t actual_bytes = static_cast<std::int32_t>(sizeof(T))) {
+    const int own = dist_.owner(idx);
+    if (own != rt_->thread_id())
+      rt_->on_remote_write(own, idx, declared_bytes_, actual_bytes);
+    data_[static_cast<std::size_t>(idx)] = v;
+  }
+
+  /// 2D conveniences (row-major linearization).
+  T& local_rc(std::int64_t r, std::int64_t c) {
+    return local(r * dist_.cols() + c);
+  }
+  const T& get_rc(std::int64_t r, std::int64_t c,
+                  std::int32_t actual_bytes = static_cast<std::int32_t>(sizeof(T))) {
+    return get(r * dist_.cols() + c, actual_bytes);
+  }
+
+  /// Unchecked access for sequential initialization in Program::setup()
+  /// and for verification after the run; never use inside thread_main().
+  T& init(std::int64_t idx) { return data_[static_cast<std::size_t>(idx)]; }
+  T& init_rc(std::int64_t r, std::int64_t c) {
+    return init(r * dist_.cols() + c);
+  }
+
+  /// Linear indices owned by the calling thread, row-major order.
+  /// Cached per thread (the ownership map is immutable), since phase loops
+  /// call this every iteration.
+  const std::vector<std::int64_t>& my_elements() const {
+    const auto t = static_cast<std::size_t>(rt_->thread_id());
+    if (owned_cache_.empty())
+      owned_cache_.resize(static_cast<std::size_t>(dist_.n_threads()));
+    auto& entry = owned_cache_[t];
+    if (!entry.cached) {
+      entry.elements = dist_.owned_by(static_cast<int>(t));
+      entry.cached = true;
+    }
+    return entry.elements;
+  }
+
+ private:
+  struct OwnedCache {
+    bool cached = false;
+    std::vector<std::int64_t> elements;
+  };
+
+  Runtime* rt_;
+  Distribution dist_;
+  std::int32_t declared_bytes_;
+  std::vector<T> data_;
+  mutable std::vector<OwnedCache> owned_cache_;
+};
+
+}  // namespace xp::rt

@@ -1,0 +1,118 @@
+// Collective operations for pC++-model programs.
+//
+// pC++ provided reductions and broadcasts over collections; these helpers
+// build the same operations from the model's two primitives — remote
+// element reads and global barriers — so every collective shows up in
+// traces as ordinary high-level events and is extrapolated like any other
+// program communication (no special model support, matching §3.3's scope).
+//
+// Each collective needs a scratch Collection<T> distributed
+// d1(Block, n_threads, n_threads) (one element per thread); the caller
+// owns it so repeated collectives reuse the storage.
+//
+// Two reduction shapes are provided:
+//  * linear  — every thread deposits, thread 0 combines and publishes
+//              (2 barriers, n-1 + n-1 remote reads; the hot-spot pattern
+//              the Sparse benchmark exhibits);
+//  * butterfly — stride-doubling exchange (log2 n rounds, power-of-two
+//              thread counts; each round one remote read per thread).
+#pragma once
+
+#include "rt/collection.hpp"
+#include "rt/runtime.hpp"
+#include "util/error.hpp"
+
+namespace xp::rt {
+
+namespace detail {
+template <typename T>
+void check_scratch(const Runtime& rt, const Collection<T>& scratch) {
+  XP_REQUIRE(scratch.size() == rt.n_threads(),
+             "collective scratch must have one element per thread");
+}
+}  // namespace detail
+
+/// All-reduce, linear shape.  `op(acc, x)` combines; every thread returns
+/// the full reduction.  Collective: all threads must call it together.
+template <typename T, typename Op>
+T allreduce_linear(Runtime& rt, Collection<T>& scratch, const T& local,
+                   Op op, T init) {
+  detail::check_scratch(rt, scratch);
+  const int me = rt.thread_id();
+  const int n = rt.n_threads();
+  scratch.local(me) = local;
+  rt.barrier();
+  if (me == 0) {
+    T acc = init;
+    for (int t = 0; t < n; ++t)
+      acc = op(acc, scratch.get(t, static_cast<std::int32_t>(sizeof(T))));
+    scratch.local(0) = acc;
+  }
+  rt.barrier();
+  const T result = scratch.get(0, static_cast<std::int32_t>(sizeof(T)));
+  return result;
+}
+
+/// All-reduce, butterfly shape (requires a power-of-two thread count).
+/// log2(n) rounds; after round k every thread holds the reduction over its
+/// 2^(k+1)-thread group.  `ping` and `pong` are two scratch collections
+/// (double buffering keeps each round reading the previous round's
+/// values).
+template <typename T, typename Op>
+T allreduce_butterfly(Runtime& rt, Collection<T>& ping, Collection<T>& pong,
+                      const T& local, Op op) {
+  detail::check_scratch(rt, ping);
+  detail::check_scratch(rt, pong);
+  const int me = rt.thread_id();
+  const int n = rt.n_threads();
+  XP_REQUIRE((n & (n - 1)) == 0,
+             "butterfly all-reduce needs a power-of-two thread count");
+  Collection<T>* cur = &ping;
+  Collection<T>* nxt = &pong;
+  cur->local(me) = local;
+  rt.barrier();
+  for (int s = 1; s < n; s <<= 1) {
+    const int partner = me ^ s;
+    const T mine = cur->get(me);
+    const T theirs = cur->get(partner, static_cast<std::int32_t>(sizeof(T)));
+    nxt->local(me) = op(mine, theirs);
+    std::swap(cur, nxt);
+    rt.barrier();
+  }
+  return cur->get(me);
+}
+
+/// Broadcast `value` from `root` to every thread (1 barrier + n-1 reads).
+/// Only the root's `value` argument is used.
+template <typename T>
+T broadcast(Runtime& rt, Collection<T>& scratch, const T& value, int root) {
+  detail::check_scratch(rt, scratch);
+  XP_REQUIRE(root >= 0 && root < rt.n_threads(), "broadcast root out of range");
+  const int me = rt.thread_id();
+  if (me == root) scratch.local(root) = value;
+  rt.barrier();
+  const T result = scratch.get(root, static_cast<std::int32_t>(sizeof(T)));
+  return result;
+}
+
+/// Gather: the root returns every thread's contribution (in thread order);
+/// other threads return an empty vector.  1 barrier + n-1 remote reads at
+/// the root.
+template <typename T>
+std::vector<T> gather(Runtime& rt, Collection<T>& scratch, const T& local,
+                      int root) {
+  detail::check_scratch(rt, scratch);
+  XP_REQUIRE(root >= 0 && root < rt.n_threads(), "gather root out of range");
+  const int me = rt.thread_id();
+  scratch.local(me) = local;
+  rt.barrier();
+  std::vector<T> out;
+  if (me == root) {
+    out.reserve(static_cast<std::size_t>(rt.n_threads()));
+    for (int t = 0; t < rt.n_threads(); ++t)
+      out.push_back(scratch.get(t, static_cast<std::int32_t>(sizeof(T))));
+  }
+  return out;
+}
+
+}  // namespace xp::rt

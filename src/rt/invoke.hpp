@@ -1,0 +1,50 @@
+// Parallel method invocation — the pC++ execution model's core construct.
+//
+// "The collection inherits certain member functions of its elements, so
+// that when such a member function is called, it is called for every
+// element in the collection. ... The compiler accomplishes a parallel
+// method invocation by generating code so that each thread calls the
+// method for all its local elements.  At the end of each parallel method
+// invocation, the threads are synchronized by a global barrier."
+//
+// parallel_invoke() is that generated code: every thread applies `method`
+// to its local elements (the method may read other collections, producing
+// traced remote accesses) and then enters the global barrier.  It is a
+// collective: all threads must call it together.
+#pragma once
+
+#include <utility>
+
+#include "rt/collection.hpp"
+#include "rt/runtime.hpp"
+
+namespace xp::rt {
+
+/// Apply `method(element&, linear_index)` to every element the calling
+/// thread owns, charge `flops_per_element` of work per element, then
+/// synchronize.  Returns the number of local elements processed.
+template <typename T, typename F>
+std::int64_t parallel_invoke(Runtime& rt, Collection<T>& c, F&& method,
+                             double flops_per_element = 0.0) {
+  const auto mine = c.my_elements();
+  for (std::int64_t e : mine) method(c.local(e), e);
+  if (flops_per_element > 0.0 && !mine.empty())
+    rt.compute_flops(flops_per_element * static_cast<double>(mine.size()));
+  rt.barrier();
+  return static_cast<std::int64_t>(mine.size());
+}
+
+/// Two-dimensional variant: `method(element&, row, col)`.
+template <typename T, typename F>
+std::int64_t parallel_invoke_rc(Runtime& rt, Collection<T>& c, F&& method,
+                                double flops_per_element = 0.0) {
+  const std::int64_t cols = c.dist().cols();
+  return parallel_invoke(
+      rt, c,
+      [cols, m = std::forward<F>(method)](T& elem, std::int64_t e) mutable {
+        m(elem, e / cols, e % cols);
+      },
+      flops_per_element);
+}
+
+}  // namespace xp::rt

@@ -1,0 +1,186 @@
+#include "rt/runtime.hpp"
+
+#include <chrono>
+#include <map>
+#include <vector>
+
+#include "fiber/scheduler.hpp"
+#include "rt/tracer.hpp"
+#include "util/error.hpp"
+
+namespace xp::rt {
+
+namespace {
+
+/// The paper's measurement environment: n threads on one processor under a
+/// non-preemptive threads package with a single shared virtual clock.
+/// Thread switches happen only at barriers (fibers block when waiting), so
+/// the time between two consecutive events of one thread is exactly that
+/// thread's computation — the invariant trace translation relies on.
+class MeasureRuntime final : public Runtime {
+ public:
+  MeasureRuntime(int n_threads, HostMachine host)
+      : n_(n_threads),
+        host_(host),
+        host_clock_(host.clock_mode == HostMachine::ClockMode::HostClock),
+        // Real instrumentation costs are inherent in host-clock mode; the
+        // modeled overheads apply only to the virtual clock.
+        tracer_(n_threads, host_clock_ ? Time::zero() : host.event_overhead,
+                host_clock_ ? 0 : host.flush_every,
+                host_clock_ ? Time::zero() : host.flush_cost),
+        barrier_count_(static_cast<std::size_t>(n_threads), 0) {
+    XP_REQUIRE(n_ > 0, "need at least one thread");
+    XP_REQUIRE(host_.mflops > 0, "MFLOPS rating must be positive");
+  }
+
+  trace::Trace run(Program& prog) {
+    prog.setup(*this);
+    wall0_ = std::chrono::steady_clock::now();
+    for (int t = 0; t < n_; ++t) {
+      sched_.spawn([this, &prog] {
+        record_simple(trace::EventKind::ThreadBegin);
+        prog.thread_main(*this);
+        record_simple(trace::EventKind::ThreadEnd);
+      });
+    }
+    sched_.run();
+    XP_CHECK(pending_.empty(), "program ended with unreleased barriers");
+    tracer_.set_meta("program", prog.name());
+    tracer_.set_meta("host", host_.name);
+    tracer_.set_meta("mflops", std::to_string(host_.mflops));
+    trace::Trace t = tracer_.take();
+    t.validate();
+    prog.verify();
+    return t;
+  }
+
+  int n_threads() const override { return n_; }
+
+  int thread_id() const override {
+    const int id = sched_.current();
+    XP_REQUIRE(id >= 0, "thread_id() outside a parallel thread");
+    return id;
+  }
+
+  void compute_flops(double flops) override {
+    XP_REQUIRE(flops >= 0, "negative flop charge");
+    // In host-clock mode the program's real computation IS the charge.
+    if (!host_clock_) clock_ += Time::us(flops / host_.mflops);
+  }
+
+  void compute_time(Time t) override {
+    XP_REQUIRE(!t.is_negative(), "negative time charge");
+    if (!host_clock_) clock_ += t;
+  }
+
+  void barrier() override {
+    sync_host_clock();
+    const int t = thread_id();
+    const std::int32_t id = barrier_count_[static_cast<std::size_t>(t)]++;
+    trace::Event e;
+    e.thread = t;
+    e.kind = trace::EventKind::BarrierEntry;
+    e.barrier_id = id;
+    tracer_.record(&clock_, e);
+
+    BarrierState& b = pending_[id];
+    if (++b.arrived < n_) {
+      b.waiters.push_back(t);
+      clock_ += host_.switch_overhead;
+      sched_.block();
+      // Resumed by the last arriver; the shared clock has meanwhile been
+      // advanced by whichever threads ran — exactly as on a real
+      // uniprocessor.  The translator re-aligns these exits.
+    } else {
+      for (int w : b.waiters) sched_.unblock(w);
+      pending_.erase(id);
+    }
+    e.kind = trace::EventKind::BarrierExit;
+    tracer_.record(&clock_, e);
+  }
+
+  void phase_begin(std::int64_t id) override { record_phase(id, true); }
+  void phase_end(std::int64_t id) override { record_phase(id, false); }
+
+  void on_remote_read(int owner, std::int64_t object,
+                      std::int32_t declared_bytes,
+                      std::int32_t actual_bytes) override {
+    record_remote(trace::EventKind::RemoteRead, owner, object, declared_bytes,
+                  actual_bytes);
+  }
+
+  void on_remote_write(int owner, std::int64_t object,
+                       std::int32_t declared_bytes,
+                       std::int32_t actual_bytes) override {
+    record_remote(trace::EventKind::RemoteWrite, owner, object, declared_bytes,
+                  actual_bytes);
+  }
+
+ private:
+  struct BarrierState {
+    int arrived = 0;
+    std::vector<int> waiters;
+  };
+
+  /// Host-clock mode: timestamps are the real elapsed wall time since the
+  /// threads started — the paper's actual Sun 4 measurement method.
+  void sync_host_clock() {
+    if (!host_clock_) return;
+    clock_ = Time::ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - wall0_)
+                          .count());
+  }
+
+  void record_simple(trace::EventKind k) {
+    sync_host_clock();
+    trace::Event e;
+    e.thread = thread_id();
+    e.kind = k;
+    tracer_.record(&clock_, e);
+  }
+
+  void record_phase(std::int64_t id, bool begin) {
+    sync_host_clock();
+    trace::Event e;
+    e.thread = thread_id();
+    e.kind = begin ? trace::EventKind::PhaseBegin : trace::EventKind::PhaseEnd;
+    e.object = id;
+    tracer_.record(&clock_, e);
+  }
+
+  void record_remote(trace::EventKind k, int owner, std::int64_t object,
+                     std::int32_t declared_bytes, std::int32_t actual_bytes) {
+    sync_host_clock();
+    XP_REQUIRE(owner >= 0 && owner < n_, "remote peer out of range");
+    trace::Event e;
+    e.thread = thread_id();
+    e.kind = k;
+    e.peer = owner;
+    e.object = object;
+    e.declared_bytes = declared_bytes;
+    e.actual_bytes = actual_bytes;
+    tracer_.record(&clock_, e);
+  }
+
+  int n_;
+  HostMachine host_;
+  bool host_clock_;
+  std::chrono::steady_clock::time_point wall0_;
+  fiber::Scheduler sched_;
+  Tracer tracer_;
+  Time clock_;
+  std::vector<std::int32_t> barrier_count_;
+  // Barrier instances in flight, keyed by barrier id.  More than one can be
+  // pending: the last arriver of barrier k runs ahead and may enter k+1
+  // before the waiters of k have been rescheduled.
+  std::map<std::int32_t, BarrierState> pending_;
+};
+
+}  // namespace
+
+trace::Trace measure(Program& prog, const MeasureOptions& opt) {
+  MeasureRuntime rt(opt.n_threads, opt.host);
+  return rt.run(prog);
+}
+
+}  // namespace xp::rt

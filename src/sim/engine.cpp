@@ -1,0 +1,64 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::sim {
+
+EventId Engine::schedule_at(Time t, Callback cb) {
+  XP_REQUIRE(t >= now_, "cannot schedule into the past");
+  XP_REQUIRE(static_cast<bool>(cb), "null event callback");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QEntry{t, seq});
+  callbacks_.emplace(seq, std::move(cb));
+  return EventId{seq};
+}
+
+EventId Engine::schedule_after(Time delay, Callback cb) {
+  XP_REQUIRE(!delay.is_negative(), "negative delay");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Engine::cancel(EventId id) {
+  // Lazy cancellation: drop the callback; the queue entry is skipped when
+  // it surfaces.
+  return callbacks_.erase(id.seq) != 0;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    const QEntry e = queue_.top();
+    auto it = callbacks_.find(e.seq);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled
+      continue;
+    }
+    queue_.pop();
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = e.t;
+    ++fired_;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Engine::run() {
+  std::uint64_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::uint64_t Engine::run_until(Time limit) {
+  std::uint64_t n = 0;
+  for (;;) {
+    // Peek the next live event.
+    while (!queue_.empty() && !callbacks_.count(queue_.top().seq)) queue_.pop();
+    if (queue_.empty() || queue_.top().t > limit) break;
+    if (!step()) break;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace xp::sim

@@ -1,0 +1,74 @@
+// Deterministic discrete-event simulation engine.
+//
+// The single shared substrate under both the trace-driven extrapolation
+// simulator (core/) and the direct-execution machine simulator (machine/).
+// Events are ordered by (time, insertion sequence); equal-time events fire
+// in scheduling order, so runs are bit-for-bit reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace xp::sim {
+
+using util::Time;
+
+/// Handle for cancelling a scheduled event.
+struct EventId {
+  std::uint64_t seq = 0;
+  bool valid() const { return seq != 0; }
+};
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, Callback cb);
+  /// Schedule `cb` after a delay from now (delay must be >= 0).
+  EventId schedule_after(Time delay, Callback cb);
+
+  /// Cancel a pending event.  Returns false if it already fired or was
+  /// cancelled.
+  bool cancel(EventId id);
+
+  Time now() const { return now_; }
+
+  /// Run until the event queue drains.  Returns the number of events fired.
+  std::uint64_t run();
+  /// Fire exactly the next event; false if the queue is empty.  Used by the
+  /// machine simulator to interleave event processing with fiber execution.
+  bool step_one() { return step(); }
+  /// Run until the queue drains or simulated time would exceed `limit`
+  /// (events after `limit` stay queued).
+  std::uint64_t run_until(Time limit);
+
+  bool empty() const { return callbacks_.empty(); }
+  std::size_t pending() const { return callbacks_.size(); }
+  std::uint64_t fired() const { return fired_; }
+
+ private:
+  struct QEntry {
+    Time t;
+    std::uint64_t seq;
+    bool operator>(const QEntry& o) const {
+      if (t != o.t) return t > o.t;
+      return seq > o.seq;
+    }
+  };
+
+  bool step();  // fire one event; false if queue empty
+
+  Time now_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t fired_ = 0;
+  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
+  std::unordered_map<std::uint64_t, Callback> callbacks_;
+};
+
+}  // namespace xp::sim

@@ -1,0 +1,151 @@
+// Matmul — the §4.2 validation program.
+//
+// Multiplies A by B (B supplied transposed), following the paper's naive
+// algorithm: for each row r of B^T, broadcast that row across the rows of a
+// temporary T, multiply pointwise into S, and reduce each row of S right to
+// left (stride-doubling) into column r of the result.  All five matrices
+// share one two-dimensional distribution chosen from {Block, Cyclic,
+// Whole} per dimension — the nine combinations of Figure 9.
+#include <cmath>
+#include <vector>
+
+#include "rt/collection.hpp"
+#include "rt/invoke.hpp"
+#include "suite/suite.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xp::suite {
+
+namespace {
+
+std::vector<double> make_mat(std::int64_t n, std::uint64_t seed) {
+  std::vector<double> m(static_cast<std::size_t>(n * n));
+  util::Xoshiro256ss rng(seed);
+  for (auto& v : m) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+class MatmulProgram final : public rt::Program {
+ public:
+  MatmulProgram(rt::Dist d_row, rt::Dist d_col, const SuiteConfig& cfg)
+      : n_(cfg.matmul_n), drow_(d_row), dcol_(d_col) {
+    XP_REQUIRE(n_ >= 2, "matmul needs n >= 2");
+  }
+
+  std::string name() const override {
+    return std::string("matmul(") + rt::to_string(drow_) + "," +
+           rt::to_string(dcol_) + ")";
+  }
+
+  void setup(rt::Runtime& rt) override {
+    const int nt = rt.n_threads();
+    const auto dist = rt::Distribution::d2(drow_, dcol_, n_, n_, nt);
+    a_ = std::make_unique<rt::Collection<double>>(rt, dist);
+    bt_ = std::make_unique<rt::Collection<double>>(rt, dist);
+    t_ = std::make_unique<rt::Collection<double>>(rt, dist);
+    s_ = std::make_unique<rt::Collection<double>>(rt, dist);
+    p_[0] = std::make_unique<rt::Collection<double>>(rt, dist);
+    p_[1] = std::make_unique<rt::Collection<double>>(rt, dist);
+    c_ = std::make_unique<rt::Collection<double>>(rt, dist);
+    const std::vector<double> av = make_mat(n_, 0xA0ull);
+    const std::vector<double> bv = make_mat(n_, 0xB0ull);
+    for (std::int64_t i = 0; i < n_; ++i)
+      for (std::int64_t j = 0; j < n_; ++j) {
+        a_->init_rc(i, j) = av[static_cast<std::size_t>(i * n_ + j)];
+        // bt holds B transposed: bt(r, j) = B(j, r).
+        bt_->init_rc(i, j) = bv[static_cast<std::size_t>(j * n_ + i)];
+        t_->init_rc(i, j) = 0.0;
+        s_->init_rc(i, j) = 0.0;
+        p_[0]->init_rc(i, j) = 0.0;
+        p_[1]->init_rc(i, j) = 0.0;
+        c_->init_rc(i, j) = 0.0;
+      }
+  }
+
+  void thread_main(rt::Runtime& rt) override {
+    rt.barrier();
+    for (std::int64_t r = 0; r < n_; ++r) {
+      // Broadcast row r of B^T to all rows of T (a parallel method
+      // invocation on T, reading B^T remotely).
+      rt::parallel_invoke_rc(rt, *t_,
+                             [&](double& v, std::int64_t, std::int64_t j) {
+                               v = bt_->get_rc(r, j, 8);
+                             });
+
+      // Pointwise multiply into S.
+      rt::parallel_invoke(
+          rt, *s_,
+          [&](double& v, std::int64_t e) {
+            v = a_->local(e) * t_->local(e);
+          },
+          1.0);
+
+      // Right-to-left summation of each row of S (stride doubling).
+      int cur = 0;
+      rt::parallel_invoke(rt, *p_[0], [&](double& v, std::int64_t e) {
+        v = s_->local(e);
+      });
+      for (std::int64_t stride = 1; stride < n_; stride *= 2) {
+        rt::Collection<double>& src = *p_[cur];
+        rt::parallel_invoke_rc(
+            rt, *p_[1 - cur],
+            [&](double& out, std::int64_t i, std::int64_t j) {
+              double v = src.get(i * n_ + j);
+              if (j + stride < n_) v += src.get_rc(i, j + stride, 8);
+              out = v;
+            },
+            1.0);
+        cur = 1 - cur;
+      }
+
+      // The row sums sit in column 0; owners of C(:, r) fetch them.
+      rt::parallel_invoke_rc(rt, *c_,
+                             [&](double& v, std::int64_t i, std::int64_t j) {
+                               if (j == r) v = p_[cur]->get_rc(i, 0, 8);
+                             });
+    }
+  }
+
+  void verify() override {
+    const std::vector<double> av = make_mat(n_, 0xA0ull);
+    const std::vector<double> bv = make_mat(n_, 0xB0ull);
+    for (std::int64_t i = 0; i < n_; ++i)
+      for (std::int64_t r = 0; r < n_; ++r) {
+        // Reference sum in the same stride-doubling order.
+        std::vector<double> part(static_cast<std::size_t>(n_));
+        for (std::int64_t j = 0; j < n_; ++j)
+          part[static_cast<std::size_t>(j)] =
+              av[static_cast<std::size_t>(i * n_ + j)] *
+              bv[static_cast<std::size_t>(j * n_ + r)];
+        for (std::int64_t stride = 1; stride < n_; stride *= 2) {
+          std::vector<double> nxt = part;
+          for (std::int64_t j = 0; j < n_; ++j)
+            if (j + stride < n_)
+              nxt[static_cast<std::size_t>(j)] =
+                  part[static_cast<std::size_t>(j)] +
+                  part[static_cast<std::size_t>(j + stride)];
+          part.swap(nxt);
+        }
+        const double got = c_->init_rc(i, r);
+        XP_REQUIRE(std::fabs(got - part[0]) < 1e-9,
+                   "matmul: mismatch at (" + std::to_string(i) + "," +
+                       std::to_string(r) + ")");
+      }
+  }
+
+ private:
+  std::int64_t n_;
+  rt::Dist drow_, dcol_;
+  std::unique_ptr<rt::Collection<double>> a_, bt_, t_, s_, c_;
+  std::unique_ptr<rt::Collection<double>> p_[2];
+};
+
+}  // namespace
+
+std::unique_ptr<rt::Program> make_matmul(rt::Dist d_row, rt::Dist d_col,
+                                         const SuiteConfig& cfg) {
+  return std::make_unique<MatmulProgram>(d_row, d_col, cfg);
+}
+
+}  // namespace xp::suite

@@ -1,0 +1,40 @@
+#include "suite/suite.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::suite {
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {
+      "embar", "cyclic", "sparse", "grid", "mgrid", "poisson", "sort"};
+  return names;
+}
+
+std::unique_ptr<rt::Program> make_by_name(const std::string& name,
+                                          const SuiteConfig& cfg) {
+  if (name == "embar") return make_embar(cfg);
+  if (name == "cyclic") return make_cyclic(cfg);
+  if (name == "sparse") return make_sparse(cfg);
+  if (name == "grid") return make_grid(cfg);
+  if (name == "mgrid") return make_mgrid(cfg);
+  if (name == "poisson") return make_poisson(cfg);
+  if (name == "sort") return make_sort(cfg);
+  if (name == "matmul")
+    return make_matmul(rt::Dist::Block, rt::Dist::Block, cfg);
+  throw util::Error("unknown benchmark: " + name);
+}
+
+std::string describe(const std::string& name) {
+  if (name == "embar") return "NAS \"embarrassingly parallel\" benchmark";
+  if (name == "cyclic") return "Cyclic reduction computation";
+  if (name == "sparse")
+    return "NAS random sparse conjugate gradient benchmark";
+  if (name == "grid") return "Poisson equation on a two dimensional grid";
+  if (name == "mgrid") return "NAS multigrid solver benchmark";
+  if (name == "poisson") return "Fast Poisson solver";
+  if (name == "sort") return "Bitonic sort module";
+  if (name == "matmul") return "Matrix multiplication (validation program)";
+  throw util::Error("unknown benchmark: " + name);
+}
+
+}  // namespace xp::suite

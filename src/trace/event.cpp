@@ -1,0 +1,55 @@
+#include "trace/event.hpp"
+
+#include <cstdio>
+
+namespace xp::trace {
+
+const char* to_string(EventKind k) {
+  switch (k) {
+    case EventKind::ThreadBegin:
+      return "BEGIN";
+    case EventKind::ThreadEnd:
+      return "END";
+    case EventKind::BarrierEntry:
+      return "BARENTRY";
+    case EventKind::BarrierExit:
+      return "BAREXIT";
+    case EventKind::RemoteRead:
+      return "RREAD";
+    case EventKind::RemoteWrite:
+      return "RWRITE";
+    case EventKind::PhaseBegin:
+      return "PHBEGIN";
+    case EventKind::PhaseEnd:
+      return "PHEND";
+  }
+  return "?";
+}
+
+bool kind_from_string(const std::string& s, EventKind& out) {
+  static constexpr EventKind kAll[] = {
+      EventKind::ThreadBegin,  EventKind::ThreadEnd,
+      EventKind::BarrierEntry, EventKind::BarrierExit,
+      EventKind::RemoteRead,   EventKind::RemoteWrite,
+      EventKind::PhaseBegin,   EventKind::PhaseEnd,
+  };
+  for (EventKind k : kAll) {
+    if (s == to_string(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Event::str() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "[t=%lld ns thr=%d %s bar=%d peer=%d obj=%lld decl=%d act=%d]",
+                static_cast<long long>(time.count_ns()), thread,
+                to_string(kind), barrier_id, peer,
+                static_cast<long long>(object), declared_bytes, actual_bytes);
+  return buf;
+}
+
+}  // namespace xp::trace

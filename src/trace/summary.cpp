@@ -1,0 +1,87 @@
+#include "trace/summary.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::trace {
+
+Summary summarize(const Trace& t) {
+  XP_REQUIRE(t.n_threads() > 0, "summarize: trace has no thread count");
+  Summary s;
+  s.n_threads = t.n_threads();
+  s.threads.resize(static_cast<std::size_t>(t.n_threads()));
+
+  std::set<std::int32_t> barrier_ids;
+  std::vector<Event> last(static_cast<std::size_t>(t.n_threads()));
+  std::vector<bool> seen(static_cast<std::size_t>(t.n_threads()), false);
+  std::vector<Time> first_time(static_cast<std::size_t>(t.n_threads()));
+  std::vector<Time> last_time(static_cast<std::size_t>(t.n_threads()));
+
+  for (const Event& e : t.events()) {
+    XP_REQUIRE(e.thread >= 0 && e.thread < t.n_threads(),
+               "summarize: event thread out of range");
+    auto ti = static_cast<std::size_t>(e.thread);
+    ThreadSummary& ts = s.threads[ti];
+    ++ts.events;
+    ++s.events;
+
+    if (seen[ti]) {
+      const Time delta = e.time - last[ti].time;
+      // Barrier-wait spans (entry -> exit) are synchronization, not compute.
+      const bool wait_span = last[ti].kind == EventKind::BarrierEntry &&
+                             e.kind == EventKind::BarrierExit;
+      if (!wait_span && delta > Time::zero()) ts.compute += delta;
+      last_time[ti] = e.time;
+    } else {
+      seen[ti] = true;
+      first_time[ti] = last_time[ti] = e.time;
+    }
+    last[ti] = e;
+
+    switch (e.kind) {
+      case EventKind::BarrierEntry:
+        barrier_ids.insert(e.barrier_id);
+        break;
+      case EventKind::RemoteRead:
+        ++ts.remote_reads;
+        ++s.remote_reads;
+        ts.declared_bytes += e.declared_bytes;
+        ts.actual_bytes += e.actual_bytes;
+        s.declared_bytes += e.declared_bytes;
+        s.actual_bytes += e.actual_bytes;
+        break;
+      case EventKind::RemoteWrite:
+        ++ts.remote_writes;
+        ++s.remote_writes;
+        ts.declared_bytes += e.declared_bytes;
+        ts.actual_bytes += e.actual_bytes;
+        s.declared_bytes += e.declared_bytes;
+        s.actual_bytes += e.actual_bytes;
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (std::size_t ti = 0; ti < s.threads.size(); ++ti) {
+    s.threads[ti].span = last_time[ti] - first_time[ti];
+    s.total_compute += s.threads[ti].compute;
+  }
+  s.barriers = static_cast<std::int64_t>(barrier_ids.size());
+  s.end_time = t.end_time();
+  return s;
+}
+
+std::string Summary::str() const {
+  std::ostringstream os;
+  os << "threads=" << n_threads << " events=" << events
+     << " barriers=" << barriers << " rreads=" << remote_reads
+     << " rwrites=" << remote_writes << " declared=" << declared_bytes
+     << "B actual=" << actual_bytes << "B compute=" << total_compute.str()
+     << " end=" << end_time.str();
+  return os.str();
+}
+
+}  // namespace xp::trace

@@ -1,0 +1,45 @@
+// Trace statistics — the "trace statistics" the paper consults during the
+// Grid investigation (§4.1): barrier counts, remote-access counts and
+// volumes, per-thread computation totals.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace xp::trace {
+
+struct ThreadSummary {
+  std::int64_t events = 0;
+  std::int64_t remote_reads = 0;
+  std::int64_t remote_writes = 0;
+  std::int64_t declared_bytes = 0;
+  std::int64_t actual_bytes = 0;
+  Time compute;   ///< total inter-event (computation) time charged
+  Time span;      ///< last event time - first event time
+};
+
+struct Summary {
+  int n_threads = 0;
+  std::int64_t events = 0;
+  std::int64_t barriers = 0;        ///< distinct barrier instances
+  std::int64_t remote_reads = 0;
+  std::int64_t remote_writes = 0;
+  std::int64_t declared_bytes = 0;  ///< sum of compiler-declared sizes
+  std::int64_t actual_bytes = 0;    ///< sum of actual transfer sizes
+  Time total_compute;               ///< sum of per-thread compute
+  Time end_time;
+  std::vector<ThreadSummary> threads;
+
+  std::string str() const;
+};
+
+/// Compute summary statistics.  The trace may be a merged measurement trace
+/// or a translated per-thread set merged back together; compute time is the
+/// per-thread time between consecutive events excluding barrier-wait spans
+/// (entry -> exit).
+Summary summarize(const Trace& t);
+
+}  // namespace xp::trace

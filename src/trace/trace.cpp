@@ -1,0 +1,141 @@
+#include "trace/trace.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace xp::trace {
+
+void Trace::set_meta(const std::string& key, const std::string& value) {
+  meta_[key] = value;
+}
+
+std::string Trace::meta(const std::string& key, const std::string& def) const {
+  auto it = meta_.find(key);
+  return it != meta_.end() ? it->second : def;
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const Event& a, const Event& b) { return a.time < b.time; });
+}
+
+bool Trace::is_time_ordered() const {
+  for (std::size_t i = 1; i < events_.size(); ++i)
+    if (events_[i].time < events_[i - 1].time) return false;
+  return true;
+}
+
+std::vector<Trace> Trace::split_by_thread() const {
+  XP_REQUIRE(n_threads_ > 0, "split_by_thread: thread count unset");
+  std::vector<Trace> out;
+  out.reserve(static_cast<std::size_t>(n_threads_));
+  for (int t = 0; t < n_threads_; ++t) {
+    Trace part(n_threads_);
+    part.meta_ = meta_;
+    part.set_meta("thread", std::to_string(t));
+    out.push_back(std::move(part));
+  }
+  for (const Event& e : events_) {
+    XP_REQUIRE(e.thread >= 0 && e.thread < n_threads_,
+               "split_by_thread: event thread out of range: " + e.str());
+    out[static_cast<std::size_t>(e.thread)].append(e);
+  }
+  return out;
+}
+
+Trace Trace::merge(const std::vector<Trace>& parts) {
+  XP_REQUIRE(!parts.empty(), "merge: no parts");
+  Trace out(parts.front().n_threads());
+  out.meta_ = parts.front().meta_;
+  out.meta_.erase("thread");
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  out.events_.reserve(total);
+  for (const auto& p : parts)
+    out.events_.insert(out.events_.end(), p.events_.begin(), p.events_.end());
+  out.sort_by_time();
+  return out;
+}
+
+Time Trace::end_time() const {
+  Time t = Time::zero();
+  for (const Event& e : events_) t = util::max(t, e.time);
+  return t;
+}
+
+void Trace::validate() const {
+  using util::TraceError;
+  if (n_threads_ <= 0) throw TraceError("trace has no thread count");
+
+  struct PerThread {
+    bool begun = false, ended = false;
+    bool in_barrier = false;          // saw entry, awaiting exit
+    int last_barrier_id = -1;
+    std::vector<std::int32_t> barrier_seq;
+  };
+  std::vector<PerThread> st(static_cast<std::size_t>(n_threads_));
+
+  for (const Event& e : events_) {
+    if (e.thread < 0 || e.thread >= n_threads_)
+      throw TraceError("event thread out of range: " + e.str());
+    PerThread& s = st[static_cast<std::size_t>(e.thread)];
+    if (s.ended) throw TraceError("event after ThreadEnd: " + e.str());
+
+    switch (e.kind) {
+      case EventKind::ThreadBegin:
+        if (s.begun) throw TraceError("duplicate ThreadBegin: " + e.str());
+        s.begun = true;
+        break;
+      case EventKind::ThreadEnd:
+        if (!s.begun) throw TraceError("ThreadEnd before Begin: " + e.str());
+        if (s.in_barrier)
+          throw TraceError("ThreadEnd inside a barrier: " + e.str());
+        s.ended = true;
+        break;
+      case EventKind::BarrierEntry:
+        if (!s.begun) throw TraceError("event before ThreadBegin: " + e.str());
+        if (s.in_barrier)
+          throw TraceError("nested BarrierEntry: " + e.str());
+        if (e.barrier_id <= s.last_barrier_id)
+          throw TraceError("barrier ids not strictly increasing: " + e.str());
+        s.in_barrier = true;
+        s.last_barrier_id = e.barrier_id;
+        s.barrier_seq.push_back(e.barrier_id);
+        break;
+      case EventKind::BarrierExit:
+        if (!s.in_barrier)
+          throw TraceError("BarrierExit without entry: " + e.str());
+        if (e.barrier_id != s.last_barrier_id)
+          throw TraceError("BarrierExit id mismatch: " + e.str());
+        s.in_barrier = false;
+        break;
+      case EventKind::RemoteRead:
+      case EventKind::RemoteWrite:
+        if (!s.begun) throw TraceError("event before ThreadBegin: " + e.str());
+        if (e.peer < 0 || e.peer >= n_threads_)
+          throw TraceError("remote peer out of range: " + e.str());
+        if (e.actual_bytes < 0 || e.declared_bytes < e.actual_bytes)
+          throw TraceError("inconsistent transfer sizes: " + e.str());
+        break;
+      case EventKind::PhaseBegin:
+      case EventKind::PhaseEnd:
+        if (!s.begun) throw TraceError("event before ThreadBegin: " + e.str());
+        break;
+    }
+  }
+
+  for (int t = 0; t < n_threads_; ++t) {
+    const PerThread& s = st[static_cast<std::size_t>(t)];
+    if (!s.begun)
+      throw TraceError("thread " + std::to_string(t) + " has no events");
+    if (!s.ended)
+      throw TraceError("thread " + std::to_string(t) + " missing ThreadEnd");
+    if (s.barrier_seq != st[0].barrier_seq)
+      throw TraceError("thread " + std::to_string(t) +
+                       " passes different barriers than thread 0 (data-"
+                       "parallel model requires identical barrier sequences)");
+  }
+}
+
+}  // namespace xp::trace

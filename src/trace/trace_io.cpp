@@ -1,0 +1,200 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::trace {
+
+using util::TraceError;
+
+// --- text format ---------------------------------------------------------
+
+void write_text(const Trace& t, std::ostream& os) {
+  os << "#XPTRACE v1\n";
+  os << "#threads " << t.n_threads() << '\n';
+  for (const auto& [k, v] : t.all_meta()) os << "#meta " << k << ' ' << v << '\n';
+  for (const Event& e : t.events()) {
+    os << "E " << e.time.count_ns() << ' ' << e.thread << ' '
+       << to_string(e.kind) << ' ' << e.barrier_id << ' ' << e.peer << ' '
+       << e.object << ' ' << e.declared_bytes << ' ' << e.actual_bytes << '\n';
+  }
+}
+
+Trace read_text(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != "#XPTRACE v1")
+    throw TraceError("not a text trace (missing #XPTRACE v1 header)");
+  Trace t;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    if (line[0] == '#') {
+      std::string tag;
+      ls >> tag;
+      if (tag == "#threads") {
+        int n = 0;
+        ls >> n;
+        if (!ls || n <= 0) throw TraceError("bad #threads line: " + line);
+        t.set_n_threads(n);
+      } else if (tag == "#meta") {
+        std::string k;
+        ls >> k;
+        std::string v;
+        std::getline(ls, v);
+        if (!v.empty() && v.front() == ' ') v.erase(0, 1);
+        if (k.empty()) throw TraceError("bad #meta line: " + line);
+        t.set_meta(k, v);
+      } else {
+        throw TraceError("unknown directive: " + line);
+      }
+      continue;
+    }
+    std::string tag, kind_s;
+    long long time_ns = 0, object = 0;
+    int thread = 0, barrier_id = 0, peer = 0, decl = 0, act = 0;
+    ls >> tag >> time_ns >> thread >> kind_s >> barrier_id >> peer >> object >>
+        decl >> act;
+    if (!ls || tag != "E") throw TraceError("bad event line: " + line);
+    Event e;
+    e.time = Time::ns(time_ns);
+    e.thread = thread;
+    if (!kind_from_string(kind_s, e.kind))
+      throw TraceError("unknown event kind: " + line);
+    e.barrier_id = barrier_id;
+    e.peer = peer;
+    e.object = object;
+    e.declared_bytes = decl;
+    e.actual_bytes = act;
+    t.append(e);
+  }
+  if (t.n_threads() <= 0) throw TraceError("trace missing #threads directive");
+  return t;
+}
+
+// --- binary format -------------------------------------------------------
+
+namespace {
+constexpr char kMagic[4] = {'X', 'P', 'T', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  // Serialize little-endian byte by byte for ABI independence.
+  unsigned char buf[sizeof(T)];
+  using U = std::make_unsigned_t<T>;
+  U u = static_cast<U>(v);
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    buf[i] = static_cast<unsigned char>((u >> (8 * i)) & 0xFF);
+  os.write(reinterpret_cast<const char*>(buf), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  unsigned char buf[sizeof(T)];
+  is.read(reinterpret_cast<char*>(buf), sizeof(T));
+  if (!is) throw TraceError("binary trace truncated");
+  using U = std::make_unsigned_t<T>;
+  U u = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i)
+    u |= static_cast<U>(buf[i]) << (8 * i);
+  return static_cast<T>(u);
+}
+
+void put_string(std::ostream& os, const std::string& s) {
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& is) {
+  const std::uint32_t n = get<std::uint32_t>(is);
+  if (n > (1u << 20)) throw TraceError("binary trace: implausible string size");
+  std::string s(n, '\0');
+  is.read(s.data(), static_cast<std::streamsize>(n));
+  if (!is) throw TraceError("binary trace truncated in string");
+  return s;
+}
+}  // namespace
+
+void write_binary(const Trace& t, std::ostream& os) {
+  os.write(kMagic, 4);
+  put<std::uint32_t>(os, kVersion);
+  put<std::int32_t>(os, t.n_threads());
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(t.all_meta().size()));
+  for (const auto& [k, v] : t.all_meta()) {
+    put_string(os, k);
+    put_string(os, v);
+  }
+  put<std::uint64_t>(os, t.size());
+  for (const Event& e : t.events()) {
+    put<std::int64_t>(os, e.time.count_ns());
+    put<std::int32_t>(os, e.thread);
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(e.kind));
+    put<std::int32_t>(os, e.barrier_id);
+    put<std::int32_t>(os, e.peer);
+    put<std::int64_t>(os, e.object);
+    put<std::int32_t>(os, e.declared_bytes);
+    put<std::int32_t>(os, e.actual_bytes);
+  }
+}
+
+Trace read_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw TraceError("not a binary trace (bad magic)");
+  const std::uint32_t ver = get<std::uint32_t>(is);
+  if (ver != kVersion)
+    throw TraceError("unsupported binary trace version " + std::to_string(ver));
+  Trace t;
+  const std::int32_t n_threads = get<std::int32_t>(is);
+  if (n_threads <= 0) throw TraceError("binary trace: bad thread count");
+  t.set_n_threads(n_threads);
+  const std::uint32_t n_meta = get<std::uint32_t>(is);
+  for (std::uint32_t i = 0; i < n_meta; ++i) {
+    std::string k = get_string(is);
+    std::string v = get_string(is);
+    t.set_meta(k, v);
+  }
+  const std::uint64_t n_events = get<std::uint64_t>(is);
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    Event e;
+    e.time = Time::ns(get<std::int64_t>(is));
+    e.thread = get<std::int32_t>(is);
+    const std::uint8_t kind = get<std::uint8_t>(is);
+    if (kind > static_cast<std::uint8_t>(EventKind::PhaseEnd))
+      throw TraceError("binary trace: bad event kind");
+    e.kind = static_cast<EventKind>(kind);
+    e.barrier_id = get<std::int32_t>(is);
+    e.peer = get<std::int32_t>(is);
+    e.object = get<std::int64_t>(is);
+    e.declared_bytes = get<std::int32_t>(is);
+    e.actual_bytes = get<std::int32_t>(is);
+    t.append(e);
+  }
+  return t;
+}
+
+void save(const Trace& t, const std::string& path) {
+  const bool binary = path.size() >= 5 && path.rfind(".xptb") == path.size() - 5;
+  std::ofstream os(path, binary ? std::ios::binary : std::ios::out);
+  XP_REQUIRE(os.good(), "cannot open for write: " + path);
+  if (binary)
+    write_binary(t, os);
+  else
+    write_text(t, os);
+  XP_REQUIRE(os.good(), "write failed: " + path);
+}
+
+Trace load(const std::string& path) {
+  const bool binary = path.size() >= 5 && path.rfind(".xptb") == path.size() - 5;
+  std::ifstream is(path, binary ? std::ios::binary : std::ios::in);
+  XP_REQUIRE(is.good(), "cannot open for read: " + path);
+  return binary ? read_binary(is) : read_text(is);
+}
+
+}  // namespace xp::trace

@@ -1,0 +1,32 @@
+// Trace serialization.
+//
+// Two formats:
+//  * text  — line-oriented, diff-able, handy for debugging and for tests
+//            ("#XPTRACE v1" header, "#meta k v" lines, one "E ..." per event)
+//  * binary — fixed-layout little-endian records for large traces
+//            ("XPTB" magic).  The layout is written field-by-field, not by
+//            dumping structs, so it is independent of padding/ABI.
+//
+// Readers validate headers and field ranges and throw util::TraceError on
+// malformed input.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hpp"
+
+namespace xp::trace {
+
+void write_text(const Trace& t, std::ostream& os);
+Trace read_text(std::istream& is);
+
+void write_binary(const Trace& t, std::ostream& os);
+Trace read_binary(std::istream& is);
+
+/// File-path conveniences; format chosen by extension (".xpt" text,
+/// ".xptb" binary).
+void save(const Trace& t, const std::string& path);
+Trace load(const std::string& path);
+
+}  // namespace xp::trace

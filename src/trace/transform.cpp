@@ -1,0 +1,83 @@
+#include "trace/transform.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::trace {
+
+namespace {
+Trace like(const Trace& t) {
+  Trace out(t.n_threads());
+  for (const auto& [k, v] : t.all_meta()) out.set_meta(k, v);
+  return out;
+}
+}  // namespace
+
+Trace filter(const Trace& t, const std::function<bool(const Event&)>& pred) {
+  Trace out = like(t);
+  for (const Event& e : t.events())
+    if (pred(e)) out.append(e);
+  return out;
+}
+
+Trace time_slice(const Trace& t, Time begin, Time end) {
+  XP_REQUIRE(begin <= end, "time_slice: begin after end");
+  return filter(t, [begin, end](const Event& e) {
+    return e.time >= begin && e.time < end;
+  });
+}
+
+Trace select_threads(const Trace& t, const std::vector<int>& threads) {
+  std::vector<bool> keep(static_cast<std::size_t>(t.n_threads()), false);
+  for (int th : threads) {
+    XP_REQUIRE(th >= 0 && th < t.n_threads(),
+               "select_threads: thread id out of range");
+    keep[static_cast<std::size_t>(th)] = true;
+  }
+  return filter(t, [&keep](const Event& e) {
+    return keep[static_cast<std::size_t>(e.thread)];
+  });
+}
+
+Trace phase_slice(const Trace& t, std::int32_t barrier_id) {
+  t.validate();
+  Trace out = like(t);
+  bool found = false;
+  for (const auto& part : t.split_by_thread()) {
+    const auto& evs = part.events();
+    // The thread's barrier sequence (identical across threads after
+    // validation); the phase of barrier k starts after the exit of the
+    // barrier preceding k in this sequence (or at ThreadBegin for the
+    // first), and ends with k's exit, inclusive.
+    std::vector<std::int32_t> seq;
+    for (const Event& e : evs)
+      if (e.kind == EventKind::BarrierEntry) seq.push_back(e.barrier_id);
+    std::size_t pos = 0;
+    while (pos < seq.size() && seq[pos] != barrier_id) ++pos;
+    if (pos == seq.size()) continue;  // thread has no such barrier
+    found = true;
+    const std::int32_t prev = pos == 0 ? -1 : seq[pos - 1];
+
+    bool in_phase = (pos == 0);
+    for (const Event& e : evs) {
+      if (in_phase) {
+        out.append(e);
+        if (e.kind == EventKind::BarrierExit && e.barrier_id == barrier_id)
+          break;
+      } else if (e.kind == EventKind::BarrierExit && e.barrier_id == prev) {
+        in_phase = true;  // the window opens after the previous exit
+      }
+    }
+  }
+  XP_REQUIRE(found, "phase_slice: barrier id not present in trace");
+  out.sort_by_time();
+  return out;
+}
+
+std::int64_t count_kind(const Trace& t, EventKind kind) {
+  std::int64_t n = 0;
+  for (const Event& e : t.events())
+    if (e.kind == kind) ++n;
+  return n;
+}
+
+}  // namespace xp::trace

@@ -1,0 +1,37 @@
+// Trace transformations: slicing and filtering utilities for analysis
+// tooling.
+//
+// A performance debugger rarely needs a whole trace: it wants "the events
+// of phase 7", "threads 4..7 only", or "what happened between 1.2 s and
+// 1.3 s".  These pure functions cut traces down while preserving the
+// metadata; note that sliced traces intentionally do NOT satisfy the full
+// data-parallel validation invariants (a window may cut a barrier in
+// half) — they are analysis artifacts, not inputs to translate().
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace xp::trace {
+
+/// Events with begin <= time < end (metadata preserved).
+Trace time_slice(const Trace& t, Time begin, Time end);
+
+/// Events of the selected threads only (thread ids unchanged).
+Trace select_threads(const Trace& t, const std::vector<int>& threads);
+
+/// Events of data-parallel phase `k`: everything from barrier k-1's exit
+/// (or the thread's begin, for k = 0) up to and including barrier k's
+/// exit.  `k` must be one of the trace's barrier ids.  The input must pass
+/// validation.
+Trace phase_slice(const Trace& t, std::int32_t barrier_id);
+
+/// Generic filter: keep events where `pred` returns true.
+Trace filter(const Trace& t, const std::function<bool(const Event&)>& pred);
+
+/// Count events of one kind.
+std::int64_t count_kind(const Trace& t, EventKind kind);
+
+}  // namespace xp::trace

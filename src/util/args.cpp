@@ -1,0 +1,126 @@
+#include "util/args.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {
+  add_flag("help", "show this help");
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  XP_REQUIRE(!opts_.count(name), "duplicate option: " + name);
+  opts_[name] = Opt{"", help, true};
+  order_.push_back(name);
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& def,
+                           const std::string& help) {
+  XP_REQUIRE(!opts_.count(name), "duplicate option: " + name);
+  opts_[name] = Opt{def, help, false};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    XP_REQUIRE(a.rfind("--", 0) == 0, "expected --flag, got: " + a + "\n" + usage());
+    a = a.substr(2);
+    std::string name = a, value;
+    bool have_value = false;
+    if (auto eq = a.find('='); eq != std::string::npos) {
+      name = a.substr(0, eq);
+      value = a.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = opts_.find(name);
+    XP_REQUIRE(it != opts_.end(), "unknown option --" + name + "\n" + usage());
+    if (it->second.is_flag) {
+      XP_REQUIRE(!have_value, "flag --" + name + " takes no value");
+      values_[name] = "1";
+    } else {
+      if (!have_value) {
+        XP_REQUIRE(i + 1 < argc, "option --" + name + " needs a value");
+        value = argv[++i];
+      }
+      values_[name] = value;
+    }
+  }
+  if (has("help")) {
+    std::fputs(usage().c_str(), stdout);
+    return false;
+  }
+  return true;
+}
+
+bool ArgParser::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+  auto it = opts_.find(name);
+  XP_REQUIRE(it != opts_.end(), "unregistered option: " + name);
+  auto v = values_.find(name);
+  return v != values_.end() ? v->second : it->second.def;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string s = get(name);
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(s, &pos);
+    XP_REQUIRE(pos == s.size(), "trailing characters in --" + name + "=" + s);
+    return v;
+  } catch (const std::logic_error&) {
+    throw Error("option --" + name + " expects an integer, got: " + s);
+  }
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string s = get(name);
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    XP_REQUIRE(pos == s.size(), "trailing characters in --" + name + "=" + s);
+    return v;
+  } catch (const std::logic_error&) {
+    throw Error("option --" + name + " expects a number, got: " + s);
+  }
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\noptions:\n";
+  for (const auto& name : order_) {
+    const Opt& o = opts_.at(name);
+    os << "  --" << name;
+    if (!o.is_flag) os << "=<v> (default: " << (o.def.empty() ? "\"\"" : o.def) << ")";
+    os << "\n      " << o.help << '\n';
+  }
+  return os.str();
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  auto flush = [&] {
+    std::size_t b = cur.find_first_not_of(" \t");
+    std::size_t e = cur.find_last_not_of(" \t");
+    out.push_back(b == std::string::npos ? "" : cur.substr(b, e - b + 1));
+    cur.clear();
+  };
+  for (char ch : s) {
+    if (ch == sep)
+      flush();
+    else
+      cur += ch;
+  }
+  flush();
+  return out;
+}
+
+}  // namespace xp::util

@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the example and bench executables.
+//
+// Accepts --name=value and --name value forms plus boolean --flag.
+// Unknown flags raise an error listing the registered options.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace xp::util {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  void add_flag(const std::string& name, const std::string& help);
+  void add_option(const std::string& name, const std::string& def,
+                  const std::string& help);
+
+  /// Parse argv; returns false (after printing usage) if --help was given.
+  bool parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+
+  std::string usage() const;
+
+ private:
+  struct Opt {
+    std::string def;
+    std::string help;
+    bool is_flag = false;
+  };
+  std::string program_, description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Opt> opts_;
+  std::map<std::string, std::string> values_;
+};
+
+/// Split "a,b,c" into trimmed pieces.
+std::vector<std::string> split(const std::string& s, char sep);
+
+}  // namespace xp::util

@@ -1,0 +1,122 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace xp::util {
+
+namespace {
+constexpr char kGlyphs[] = "*o+x#@%&=~";
+
+double transform(double v, bool log_y) {
+  return log_y ? std::log10(std::max(v, 1e-12)) : v;
+}
+}  // namespace
+
+std::string line_chart(const std::vector<double>& xs,
+                       const std::vector<Series>& series,
+                       const ChartOptions& opt) {
+  XP_REQUIRE(!xs.empty(), "chart needs x positions");
+  XP_REQUIRE(!series.empty(), "chart needs at least one series");
+  for (const auto& s : series)
+    XP_REQUIRE(s.ys.size() == xs.size(), "series length mismatch");
+
+  double ymin = 1e300, ymax = -1e300;
+  for (const auto& s : series)
+    for (double y : s.ys) {
+      const double t = transform(y, opt.log_y);
+      ymin = std::min(ymin, t);
+      ymax = std::max(ymax, t);
+    }
+  if (ymax - ymin < 1e-12) {
+    ymax += 1.0;
+    ymin -= 1.0;
+  }
+
+  const int W = std::max(opt.width, 8), H = std::max(opt.height, 4);
+  std::vector<std::string> grid(static_cast<std::size_t>(H),
+                                std::string(static_cast<std::size_t>(W), ' '));
+
+  auto col_of = [&](std::size_t i) {
+    if (xs.size() == 1) return 0;
+    return static_cast<int>(std::lround(static_cast<double>(i) /
+                                        static_cast<double>(xs.size() - 1) *
+                                        (W - 1)));
+  };
+  auto row_of = [&](double y) {
+    const double t = (transform(y, opt.log_y) - ymin) / (ymax - ymin);
+    return (H - 1) - static_cast<int>(std::lround(t * (H - 1)));
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char g = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    // connect consecutive points with linear interpolation in plot space
+    for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+      const int c0 = col_of(i), c1 = col_of(i + 1);
+      const int r0 = row_of(series[si].ys[i]), r1 = row_of(series[si].ys[i + 1]);
+      const int steps = std::max(std::abs(c1 - c0), std::abs(r1 - r0));
+      for (int s = 0; s <= steps; ++s) {
+        const double f = steps ? static_cast<double>(s) / steps : 0.0;
+        const int c = c0 + static_cast<int>(std::lround(f * (c1 - c0)));
+        const int r = r0 + static_cast<int>(std::lround(f * (r1 - r0)));
+        if (r >= 0 && r < H && c >= 0 && c < W) {
+          char& cell = grid[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(c)];
+          cell = (cell == ' ' || cell == g) ? g : '?';  // '?' marks overlap
+        }
+      }
+    }
+    // mark data points explicitly (overrides line segments)
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const int c = col_of(i), r = row_of(series[si].ys[i]);
+      if (r >= 0 && r < H && c >= 0 && c < W)
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = g;
+    }
+  }
+
+  auto fmt_axis = [&](double t) {
+    const double v = opt.log_y ? std::pow(10.0, t) : t;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%9.3g", v);
+    return std::string(buf);
+  };
+
+  std::ostringstream os;
+  if (!opt.y_label.empty()) os << opt.y_label << '\n';
+  for (int r = 0; r < H; ++r) {
+    const double t = ymax - (ymax - ymin) * r / (H - 1);
+    if (r == 0 || r == H - 1 || r == H / 2)
+      os << fmt_axis(t) << " |";
+    else
+      os << std::string(9, ' ') << " |";
+    os << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(10, ' ') << '+' << std::string(static_cast<std::size_t>(W), '-')
+     << '\n';
+  // x tick labels at first/last
+  {
+    char lo[32], hi[32];
+    std::snprintf(lo, sizeof lo, "%g", xs.front());
+    std::snprintf(hi, sizeof hi, "%g", xs.back());
+    std::string line(static_cast<std::size_t>(W) + 11, ' ');
+    const std::string slo(lo), shi(hi);
+    for (std::size_t i = 0; i < slo.size() && 11 + i < line.size(); ++i)
+      line[11 + i] = slo[i];
+    if (shi.size() <= line.size())
+      for (std::size_t i = 0; i < shi.size(); ++i)
+        line[line.size() - shi.size() + i] = shi[i];
+    os << line << '\n';
+  }
+  if (!opt.x_label.empty())
+    os << std::string(10, ' ') << opt.x_label << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si)
+    os << "    " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << " = "
+       << series[si].label << '\n';
+  return os.str();
+}
+
+}  // namespace xp::util

@@ -1,0 +1,30 @@
+// ASCII line charts so the bench harnesses can render the paper's figures
+// directly in terminal output (speedup curves, execution-time curves).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xp::util {
+
+/// One plotted series: a label and y-values over the shared x axis.
+struct Series {
+  std::string label;
+  std::vector<double> ys;
+};
+
+struct ChartOptions {
+  int width = 64;    ///< plot area columns
+  int height = 18;   ///< plot area rows
+  bool log_y = false;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render series over categorical x positions (e.g. processor counts).
+/// Each series is drawn with its own glyph; a legend follows the plot.
+std::string line_chart(const std::vector<double>& xs,
+                       const std::vector<Series>& series,
+                       const ChartOptions& opt = {});
+
+}  // namespace xp::util

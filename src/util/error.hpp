@@ -1,0 +1,54 @@
+// Error handling for the ExtraP library.
+//
+// Library invariants and precondition failures throw xp::util::Error; the
+// XP_CHECK / XP_REQUIRE macros format the failing expression and location.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xp::util {
+
+/// Base exception for all library-reported failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or semantically invalid trace data.
+class TraceError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Invalid model/simulation parameter combination.
+class ParamError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void fail(const std::string& msg, const char* file,
+                              int line) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": " + msg);
+}
+
+}  // namespace xp::util
+
+/// Internal invariant; failure indicates a library bug.
+#define XP_CHECK(cond, msg)                                   \
+  do {                                                        \
+    if (!(cond)) {                                            \
+      ::xp::util::fail(std::string("check failed: ") + #cond + \
+                           " — " + (msg),                     \
+                       __FILE__, __LINE__);                   \
+    }                                                         \
+  } while (0)
+
+/// Caller-facing precondition.
+#define XP_REQUIRE(cond, msg)                                        \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::xp::util::fail(std::string("requirement failed: ") + (msg), \
+                       __FILE__, __LINE__);                          \
+    }                                                                \
+  } while (0)

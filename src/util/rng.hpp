@@ -1,0 +1,73 @@
+// Deterministic random number generation.
+//
+// Two generators:
+//  * Xoshiro256ss — general-purpose PRNG used by workload generators and the
+//    machine simulator's deterministic jitter.  Seeded explicitly; never
+//    seeded from the wall clock, so every run of every experiment is
+//    reproducible.
+//  * NasLcg — the 48-bit linear congruential generator specified by the NAS
+//    Parallel Benchmarks (x_{k+1} = a*x_k mod 2^46, a = 5^13), used by the
+//    Embar (NAS EP) and Sparse (NAS CG) codes so their random streams have
+//    the same leapfrog structure as the originals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xp::util {
+
+/// xoshiro256** by Blackman & Vigna; small, fast, passes BigCrush.
+class Xoshiro256ss {
+ public:
+  explicit Xoshiro256ss(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  std::uint64_t next();
+  /// Uniform in [0, 1).
+  double next_double();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+  /// Standard normal via Box–Muller (deterministic, no cached spare).
+  double normal();
+
+  // UniformRandomBitGenerator interface, usable with <random> adaptors.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return next(); }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// NAS Parallel Benchmarks pseudorandom generator (46-bit LCG).
+class NasLcg {
+ public:
+  static constexpr double kDefaultSeed = 271828183.0;
+
+  explicit NasLcg(double seed = kDefaultSeed) : x_(seed) {}
+
+  /// Next value in (0, 1).
+  double next();
+
+  /// Jump the seed forward by n steps from `seed` (leapfrogging for
+  /// parallel streams), as NAS's randlc/ipow46 do.
+  static double skip_ahead(double seed, std::uint64_t n);
+
+  double state() const { return x_; }
+
+ private:
+  double x_;
+};
+
+/// Fisher–Yates shuffle driven by Xoshiro; deterministic given the RNG state.
+template <typename T>
+void shuffle(std::vector<T>& v, Xoshiro256ss& rng) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace xp::util

@@ -1,0 +1,84 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace xp::util {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double d = x - mean_;
+  mean_ += d / static_cast<double>(n_);
+  m2_ += d * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double na = static_cast<double>(n_), nb = static_cast<double>(o.n_);
+  const double delta = o.mean_ - mean_;
+  const double nt = na + nb;
+  mean_ += delta * nb / nt;
+  m2_ += o.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+  n_ += o.n_;
+}
+
+double RunningStat::variance() const {
+  return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> samples, double p) {
+  XP_REQUIRE(!samples.empty(), "percentile of empty sample set");
+  XP_REQUIRE(p >= 0.0 && p <= 100.0, "percentile out of [0,100]");
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double rank = p / 100.0 * static_cast<double>(samples.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  XP_REQUIRE(bins > 0, "histogram needs at least one bin");
+  XP_REQUIRE(hi > lo, "histogram range must be nonempty");
+}
+
+void Histogram::add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  std::int64_t i = static_cast<std::int64_t>(t);
+  i = std::clamp<std::int64_t>(i, 0,
+                               static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += std::log(x);
+  return std::exp(s / static_cast<double>(xs.size()));
+}
+
+}  // namespace xp::util

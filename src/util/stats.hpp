@@ -1,0 +1,56 @@
+// Small statistics helpers used by metrics computation and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace xp::util {
+
+/// Welford running mean/variance with min/max tracking.
+class RunningStat {
+ public:
+  void add(double x);
+  void merge(const RunningStat& o);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exact percentile (linear interpolation) over a copy of the samples.
+double percentile(std::vector<double> samples, double p);
+
+/// Fixed-bin histogram over [lo, hi); values outside clamp to the end bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const { return bin_low(i + 1); }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Geometric mean of positive samples (0 if empty).
+double geomean(const std::vector<double>& xs);
+
+}  // namespace xp::util

@@ -1,0 +1,90 @@
+// Simulation time for ExtraP.
+//
+// All simulator state is kept in integer nanoseconds so that event ordering
+// is exact and runs are bit-for-bit reproducible.  The paper denominates its
+// parameters in microseconds (e.g. CommStartupTime = 10.0 usec), so the
+// public constructors and accessors speak double-microseconds while the
+// representation stays integral.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+#include <compare>
+#include <limits>
+#include <string>
+
+namespace xp::util {
+
+/// A point in (or span of) simulated time.  Signed 64-bit nanoseconds:
+/// spans of ~292 years, far beyond any extrapolation run.
+class Time {
+ public:
+  constexpr Time() = default;
+
+  /// Named constructors ----------------------------------------------------
+  static constexpr Time zero() { return Time{0}; }
+  static constexpr Time ns(std::int64_t v) { return Time{v}; }
+  static constexpr Time us(double v) {
+    return Time{static_cast<std::int64_t>(v * 1e3 + (v >= 0 ? 0.5 : -0.5))};
+  }
+  static constexpr Time ms(double v) { return us(v * 1e3); }
+  static constexpr Time sec(double v) { return us(v * 1e6); }
+  static constexpr Time max() {
+    return Time{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  /// Accessors --------------------------------------------------------------
+  constexpr std::int64_t count_ns() const { return ns_; }
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
+  constexpr double to_sec() const { return static_cast<double>(ns_) / 1e9; }
+
+  /// Arithmetic -------------------------------------------------------------
+  constexpr Time operator+(Time o) const { return Time{ns_ + o.ns_}; }
+  constexpr Time operator-(Time o) const { return Time{ns_ - o.ns_}; }
+  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
+  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
+  constexpr Time operator*(double f) const {
+    return Time{static_cast<std::int64_t>(std::llround(static_cast<double>(ns_) * f))};
+  }
+  constexpr Time operator/(double f) const { return *this * (1.0 / f); }
+  /// Ratio of two spans; denominator must be nonzero.
+  constexpr double operator/(Time o) const {
+    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
+  }
+  constexpr Time operator-() const { return Time{-ns_}; }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  /// "12.345 ms" style rendering, unit chosen by magnitude.
+  std::string str() const;
+
+ private:
+  constexpr explicit Time(std::int64_t v) : ns_(v) {}
+  std::int64_t ns_ = 0;
+};
+
+constexpr Time operator*(double f, Time t) { return t * f; }
+
+inline std::string Time::str() const {
+  const double a = std::abs(static_cast<double>(ns_));
+  char buf[48];
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.4g s", to_sec());
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.4g ms", to_ms());
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.4g us", to_us());
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld ns", static_cast<long long>(ns_));
+  }
+  return buf;
+}
+
+inline Time max(Time a, Time b) { return a < b ? b : a; }
+inline Time min(Time a, Time b) { return a < b ? a : b; }
+
+}  // namespace xp::util

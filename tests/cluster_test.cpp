@@ -1,0 +1,190 @@
+// Tests for the shared-memory clustering extension (§3.3.1): processors
+// grouped into clusters, intra-cluster remote accesses served from shared
+// memory, inter-cluster ones by messages.
+#include <gtest/gtest.h>
+
+#include "core/extrapolator.hpp"
+#include "core/simulator.hpp"
+#include "machine/machine_sim.hpp"
+#include "rt/collection.hpp"
+#include "suite/suite.hpp"
+#include "util/error.hpp"
+
+namespace xp::core {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::Trace;
+
+Event ev(double t_us, int thread, EventKind kind, int peer = -1,
+         int bytes = 0) {
+  Event e;
+  e.time = Time::us(t_us);
+  e.thread = thread;
+  e.kind = kind;
+  e.peer = peer;
+  e.declared_bytes = bytes;
+  e.actual_bytes = bytes;
+  return e;
+}
+
+Trace thread_trace(int n, std::vector<Event> events) {
+  Trace t(n);
+  for (const Event& e : events) t.append(e);
+  return t;
+}
+
+// Thread 1 reads 1000 bytes from thread 0; threads on separate processors.
+std::vector<Trace> read_pair() {
+  std::vector<Trace> ts;
+  ts.push_back(thread_trace(2, {ev(0, 0, EventKind::ThreadBegin),
+                                ev(0, 0, EventKind::ThreadEnd)}));
+  ts.push_back(thread_trace(2, {ev(0, 1, EventKind::ThreadBegin),
+                                ev(0, 1, EventKind::RemoteRead, 0, 1000),
+                                ev(0, 1, EventKind::ThreadEnd)}));
+  return ts;
+}
+
+TEST(Cluster, IntraClusterAccessIsSharedMemory) {
+  model::SimParams p = model::ideal_preset();
+  p.comm.comm_startup = Time::us(100);  // messages would be expensive
+  p.cluster.procs_per_cluster = 2;      // both processors share a cluster
+  p.cluster.intra_latency = Time::us(2);
+  p.cluster.intra_byte_time = Time::us(0.001);
+  const SimResult r = simulate(read_pair(), p);
+  // 2 us latency + 1000 B * 1 ns = 3 us; no messages at all.
+  EXPECT_EQ(r.makespan, Time::us(3));
+  EXPECT_EQ(r.messages, 0);
+  EXPECT_EQ(r.threads[1].intra_cluster_accesses, 1);
+  EXPECT_EQ(r.threads[0].requests_served, 0);
+}
+
+TEST(Cluster, InterClusterStillUsesMessages) {
+  model::SimParams p = model::ideal_preset();
+  p.comm.comm_startup = Time::us(100);
+  p.cluster.procs_per_cluster = 1;  // every processor its own cluster
+  const SimResult r = simulate(read_pair(), p);
+  EXPECT_EQ(r.messages, 2);
+  EXPECT_GE(r.makespan, Time::us(200));  // two startups on the path
+  EXPECT_EQ(r.threads[1].intra_cluster_accesses, 0);
+}
+
+TEST(Cluster, SizeModeAppliesToSharedMemoryCopies) {
+  std::vector<Trace> ts;
+  ts.push_back(thread_trace(2, {ev(0, 0, EventKind::ThreadBegin),
+                                ev(0, 0, EventKind::ThreadEnd)}));
+  Event read = ev(0, 1, EventKind::RemoteRead, 0, 0);
+  read.declared_bytes = 10000;
+  read.actual_bytes = 100;
+  ts.push_back(thread_trace(2, {ev(0, 1, EventKind::ThreadBegin), read,
+                                ev(0, 1, EventKind::ThreadEnd)}));
+  model::SimParams p = model::ideal_preset();
+  p.cluster.procs_per_cluster = 2;
+  p.cluster.intra_latency = Time::zero();
+  p.cluster.intra_byte_time = Time::us(0.01);
+  p.size_mode = model::TransferSizeMode::Declared;
+  EXPECT_EQ(simulate(ts, p).makespan, Time::us(100));
+  p.size_mode = model::TransferSizeMode::Actual;
+  EXPECT_EQ(simulate(ts, p).makespan, Time::us(1));
+}
+
+TEST(Cluster, ClusteringReducesPredictedTimeForCommBoundCode) {
+  suite::SuiteConfig cfg;
+  cfg.sparse_size = 512;
+  cfg.sparse_iters = 2;
+  auto prog = suite::make_by_name("sparse", cfg);
+  rt::MeasureOptions mo;
+  mo.n_threads = 8;
+  const trace::Trace measured = rt::measure(*prog, mo);
+
+  auto params = model::distributed_preset();
+  Extrapolator flat(params);
+  params.cluster.procs_per_cluster = 4;
+  Extrapolator clustered(params);
+  EXPECT_LT(clustered.extrapolate_trace(measured).predicted_time,
+            flat.extrapolate_trace(measured).predicted_time);
+}
+
+TEST(Cluster, WholeMachineClusterEliminatesAllMessagesButBarriers) {
+  suite::SuiteConfig cfg;
+  cfg.cyclic_size = 64;
+  cfg.cyclic_width = 4;
+  auto prog = suite::make_by_name("cyclic", cfg);
+  rt::MeasureOptions mo;
+  mo.n_threads = 8;
+  const trace::Trace measured = rt::measure(*prog, mo);
+  auto params = model::distributed_preset();
+  params.cluster.procs_per_cluster = 8;
+  params.barrier.by_msgs = false;  // keep barriers off the wire too
+  Extrapolator x(params);
+  EXPECT_EQ(x.extrapolate_trace(measured).sim.messages, 0);
+}
+
+TEST(Cluster, MachineSimulatorHonorsClusters) {
+  class ReadProg : public rt::Program {
+   public:
+    std::string name() const override { return "r"; }
+    void setup(rt::Runtime& rt) override {
+      c_ = std::make_unique<rt::Collection<double>>(
+          rt, rt::Distribution::d1(rt::Dist::Block, rt.n_threads(),
+                                   rt.n_threads()));
+      for (int i = 0; i < rt.n_threads(); ++i) c_->init(i) = i;
+    }
+    void thread_main(rt::Runtime& rt) override {
+      (void)c_->get((rt.thread_id() + 1) % rt.n_threads(), 8);
+      rt.barrier();
+    }
+    std::unique_ptr<rt::Collection<double>> c_;
+  };
+
+  machine::MachineConfig cfg = machine::cm5_machine();
+  cfg.compute_jitter = 0;
+  cfg.wire_jitter = 0;
+  ReadProg flat_prog;
+  const auto flat = machine::run_on_machine(flat_prog, 4, cfg);
+  cfg.params.cluster.procs_per_cluster = 4;
+  ReadProg clustered_prog;
+  const auto clustered = machine::run_on_machine(clustered_prog, 4, cfg);
+  EXPECT_LT(clustered.exec_time, flat.exec_time);
+  EXPECT_LT(clustered.messages, flat.messages);
+}
+
+TEST(Cluster, ValidatesParameters) {
+  model::SimParams p;
+  p.cluster.procs_per_cluster = 0;
+  EXPECT_THROW(p.validate(4), util::ParamError);
+  p = model::SimParams{};
+  p.cluster.intra_latency = Time::us(-1);
+  EXPECT_THROW(p.validate(4), util::ParamError);
+}
+
+TEST(Cluster, ComposesWithMultithreading) {
+  // 8 threads on 4 processors in 2 clusters of 2: same-proc access free,
+  // same-cluster access cheap, cross-cluster access messaged.
+  std::vector<Trace> ts;
+  for (int t = 0; t < 8; ++t) {
+    std::vector<Event> evs{ev(0, t, EventKind::ThreadBegin)};
+    if (t == 0) {
+      evs.push_back(ev(0, 0, EventKind::RemoteRead, 4, 100));  // same proc
+      evs.push_back(ev(0, 0, EventKind::RemoteRead, 1, 100));  // same cluster
+      evs.push_back(ev(0, 0, EventKind::RemoteRead, 2, 100));  // cross
+    }
+    evs.push_back(ev(0, t, EventKind::ThreadEnd));
+    ts.push_back(thread_trace(8, evs));
+  }
+  model::SimParams p = model::ideal_preset();
+  p.proc.n_procs = 4;  // threads 0&4 share proc 0, 1&5 proc 1, ...
+  p.cluster.procs_per_cluster = 2;
+  p.cluster.intra_latency = Time::us(5);
+  p.cluster.intra_byte_time = Time::zero();
+  p.comm.comm_startup = Time::us(50);
+  const SimResult r = simulate(ts, p);
+  EXPECT_EQ(r.threads[0].intra_cluster_accesses, 1);
+  EXPECT_EQ(r.messages, 2);  // only the cross-cluster access
+  // Path: same-proc free; +5 us intra; + message exchange (>= 100 us).
+  EXPECT_GE(r.makespan, Time::us(105));
+}
+
+}  // namespace
+}  // namespace xp::core

@@ -1,0 +1,213 @@
+// Tests for the collective operations built on the traced primitives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/extrapolator.hpp"
+#include "rt/collectives.hpp"
+#include "rt/runtime.hpp"
+#include "trace/summary.hpp"
+#include "util/error.hpp"
+
+namespace xp::rt {
+namespace {
+
+// A harness program running one collective per thread and recording the
+// per-thread results for inspection.
+class CollectiveProgram : public Program {
+ public:
+  enum class Kind { LinearReduce, Butterfly, Broadcast, Gather };
+  Kind kind = Kind::LinearReduce;
+  int root = 0;
+
+  std::string name() const override { return "collective"; }
+
+  void setup(Runtime& rt) override {
+    const int n = rt.n_threads();
+    const auto dist = Distribution::d1(Dist::Block, n, n);
+    ping_ = std::make_unique<Collection<double>>(rt, dist);
+    pong_ = std::make_unique<Collection<double>>(rt, dist);
+    for (int i = 0; i < n; ++i) {
+      ping_->init(i) = 0;
+      pong_->init(i) = 0;
+    }
+    results_.assign(static_cast<std::size_t>(n), 0.0);
+    gathered_.clear();
+  }
+
+  void thread_main(Runtime& rt) override {
+    const int me = rt.thread_id();
+    const double mine = static_cast<double>(me + 1);  // 1..n
+    auto add = [](double a, double b) { return a + b; };
+    switch (kind) {
+      case Kind::LinearReduce:
+        results_[static_cast<std::size_t>(me)] =
+            allreduce_linear(rt, *ping_, mine, add, 0.0);
+        break;
+      case Kind::Butterfly:
+        results_[static_cast<std::size_t>(me)] =
+            allreduce_butterfly(rt, *ping_, *pong_, mine, add);
+        break;
+      case Kind::Broadcast:
+        results_[static_cast<std::size_t>(me)] =
+            broadcast(rt, *ping_, mine * 10.0, root);
+        break;
+      case Kind::Gather: {
+        auto got = gather(rt, *ping_, mine, root);
+        if (me == root) gathered_ = got;
+        break;
+      }
+    }
+  }
+
+  std::unique_ptr<Collection<double>> ping_, pong_;
+  std::vector<double> results_;
+  std::vector<double> gathered_;
+};
+
+trace::Trace run(CollectiveProgram& p, int n) {
+  MeasureOptions mo;
+  mo.n_threads = n;
+  return measure(p, mo);
+}
+
+TEST(Collectives, LinearAllReduceEveryThreadGetsSum) {
+  for (int n : {1, 2, 5, 8}) {
+    CollectiveProgram p;
+    p.kind = CollectiveProgram::Kind::LinearReduce;
+    run(p, n);
+    const double expect = n * (n + 1) / 2.0;
+    for (double r : p.results_) EXPECT_DOUBLE_EQ(r, expect) << "n=" << n;
+  }
+}
+
+TEST(Collectives, ButterflyMatchesLinear) {
+  for (int n : {1, 2, 4, 8, 16}) {
+    CollectiveProgram p;
+    p.kind = CollectiveProgram::Kind::Butterfly;
+    run(p, n);
+    const double expect = n * (n + 1) / 2.0;
+    for (double r : p.results_) EXPECT_DOUBLE_EQ(r, expect) << "n=" << n;
+  }
+}
+
+TEST(Collectives, ButterflyRejectsNonPowerOfTwo) {
+  CollectiveProgram p;
+  p.kind = CollectiveProgram::Kind::Butterfly;
+  EXPECT_THROW(run(p, 3), util::Error);
+}
+
+TEST(Collectives, BroadcastDeliversRootValue) {
+  for (int root : {0, 2}) {
+    CollectiveProgram p;
+    p.kind = CollectiveProgram::Kind::Broadcast;
+    p.root = root;
+    run(p, 4);
+    for (double r : p.results_)
+      EXPECT_DOUBLE_EQ(r, (root + 1) * 10.0);
+  }
+}
+
+TEST(Collectives, GatherCollectsInThreadOrder) {
+  CollectiveProgram p;
+  p.kind = CollectiveProgram::Kind::Gather;
+  p.root = 1;
+  run(p, 5);
+  ASSERT_EQ(p.gathered_.size(), 5u);
+  for (int i = 0; i < 5; ++i)
+    EXPECT_DOUBLE_EQ(p.gathered_[static_cast<std::size_t>(i)], i + 1.0);
+}
+
+TEST(Collectives, LinearTraceShape) {
+  CollectiveProgram p;
+  p.kind = CollectiveProgram::Kind::LinearReduce;
+  const trace::Trace t = run(p, 8);
+  const trace::Summary s = summarize(t);
+  EXPECT_EQ(s.barriers, 2);
+  // Root reads the 7 non-local deposits; every non-root reads the result.
+  EXPECT_EQ(s.remote_reads, 7 + 7);
+}
+
+TEST(Collectives, ButterflyTraceShape) {
+  CollectiveProgram p;
+  p.kind = CollectiveProgram::Kind::Butterfly;
+  const trace::Trace t = run(p, 8);
+  const trace::Summary s = summarize(t);
+  EXPECT_EQ(s.barriers, 1 + 3);             // deposit + log2(8) rounds
+  EXPECT_EQ(s.remote_reads, 3 * 8);         // one partner read per round
+}
+
+TEST(Collectives, ButterflyScalesBetterThanLinearInPrediction) {
+  // The point of having both shapes: at scale, the tree wins on machines
+  // with expensive sends.  (Verified through the whole pipeline.)
+  class Loop : public CollectiveProgram {
+   public:
+    int reps = 8;
+    void thread_main(Runtime& rt) override {
+      const int me = rt.thread_id();
+      auto add = [](double a, double b) { return a + b; };
+      double acc = me;
+      for (int k = 0; k < reps; ++k) {
+        if (kind == Kind::Butterfly)
+          acc = allreduce_butterfly(rt, *ping_, *pong_, acc, add);
+        else
+          acc = allreduce_linear(rt, *ping_, acc, add, 0.0);
+        rt.compute_flops(100.0);
+      }
+      results_[static_cast<std::size_t>(me)] = acc;
+    }
+  };
+  auto predict = [](CollectiveProgram::Kind kind) {
+    Loop p;
+    p.kind = kind;
+    MeasureOptions mo;
+    mo.n_threads = 32;
+    const trace::Trace t = measure(p, mo);
+    // Hardware barrier: otherwise the butterfly's extra synchronization
+    // rounds cost more than its parallel reads save — which the sibling
+    // assertion below checks as well.
+    auto params = model::distributed_preset();
+    params.barrier.alg = model::BarrierAlg::Hardware;
+    core::Extrapolator x(params);
+    return x.extrapolate_trace(t).predicted_time;
+  };
+  EXPECT_LT(predict(CollectiveProgram::Kind::Butterfly),
+            predict(CollectiveProgram::Kind::LinearReduce));
+
+  // With message-based linear barriers, the extra butterfly rounds are
+  // themselves expensive — the linear reduction can win.  (This tradeoff
+  // is exactly what extrapolation lets a programmer evaluate per target.)
+  auto predict_msg_barrier = [](CollectiveProgram::Kind kind) {
+    Loop p;
+    p.kind = kind;
+    MeasureOptions mo;
+    mo.n_threads = 32;
+    const trace::Trace t = measure(p, mo);
+    core::Extrapolator x(model::distributed_preset());
+    return x.extrapolate_trace(t).predicted_time;
+  };
+  EXPECT_LT(predict_msg_barrier(CollectiveProgram::Kind::LinearReduce),
+            predict_msg_barrier(CollectiveProgram::Kind::Butterfly));
+}
+
+TEST(Collectives, ScratchSizeValidated) {
+  class Bad : public Program {
+   public:
+    std::string name() const override { return "bad"; }
+    void setup(Runtime& rt) override {
+      tiny_ = std::make_unique<Collection<double>>(
+          rt, Distribution::d1(Dist::Block, 1, rt.n_threads()));
+    }
+    void thread_main(Runtime& rt) override {
+      allreduce_linear(rt, *tiny_, 1.0,
+                       [](double a, double b) { return a + b; }, 0.0);
+    }
+    std::unique_ptr<Collection<double>> tiny_;
+  } p;
+  MeasureOptions mo;
+  mo.n_threads = 2;
+  EXPECT_THROW(measure(p, mo), util::Error);
+}
+
+}  // namespace
+}  // namespace xp::rt

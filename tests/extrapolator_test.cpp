@@ -1,0 +1,132 @@
+// Tests for the end-to-end Extrapolator facade (Figure 2 pipeline).
+#include <gtest/gtest.h>
+
+#include "core/extrapolator.hpp"
+#include "rt/collection.hpp"
+#include "suite/suite.hpp"
+#include "util/error.hpp"
+
+namespace xp::core {
+namespace {
+
+class SmallProgram : public rt::Program {
+ public:
+  std::string name() const override { return "small"; }
+  void setup(rt::Runtime& rt) override {
+    c_ = std::make_unique<rt::Collection<double>>(
+        rt, rt::Distribution::d1(rt::Dist::Block, rt.n_threads(),
+                                 rt.n_threads()),
+        256);
+    for (int i = 0; i < rt.n_threads(); ++i) c_->init(i) = i;
+  }
+  void thread_main(rt::Runtime& rt) override {
+    for (int k = 0; k < 4; ++k) {
+      rt.compute_flops(1136.0);  // 1 ms on the sun4 rating
+      if (rt.n_threads() > 1)
+        (void)c_->get((rt.thread_id() + 1) % rt.n_threads(), 8);
+      rt.barrier();
+    }
+  }
+  std::unique_ptr<rt::Collection<double>> c_;
+};
+
+TEST(Extrapolator, IdealEnvironmentReproducesIdealTime) {
+  SmallProgram p;
+  Extrapolator x(model::ideal_preset());
+  const Prediction pred = x.extrapolate(p, 4);
+  EXPECT_EQ(pred.predicted_time, pred.ideal_time);
+  EXPECT_EQ(pred.n_threads, 4);
+}
+
+TEST(Extrapolator, MeasuredTimeIsSerialSum) {
+  SmallProgram p;
+  Extrapolator x(model::ideal_preset());
+  const Prediction pred = x.extrapolate(p, 4);
+  // 4 threads x 4 phases x 1 ms on one processor.
+  EXPECT_EQ(pred.measured_time, Time::ms(16));
+  EXPECT_EQ(pred.ideal_time, Time::ms(4));
+}
+
+TEST(Extrapolator, PredictionNeverBeatsIdeal) {
+  for (int n : {1, 2, 4, 8}) {
+    SmallProgram p;
+    Extrapolator x(model::distributed_preset());
+    const Prediction pred = x.extrapolate(p, n);
+    EXPECT_GE(pred.predicted_time, pred.ideal_time) << "n=" << n;
+  }
+}
+
+TEST(Extrapolator, DeterministicPredictions) {
+  Extrapolator x(model::distributed_preset());
+  SmallProgram p1, p2;
+  const Prediction a = x.extrapolate(p1, 8);
+  const Prediction b = x.extrapolate(p2, 8);
+  EXPECT_EQ(a.predicted_time, b.predicted_time);
+  EXPECT_EQ(a.sim.messages, b.sim.messages);
+  EXPECT_EQ(a.sim.engine_events, b.sim.engine_events);
+}
+
+TEST(Extrapolator, TraceEntryPointMatchesProgramEntryPoint) {
+  SmallProgram p;
+  rt::MeasureOptions mo;
+  mo.n_threads = 4;
+  const trace::Trace measured = rt::measure(p, mo);
+  Extrapolator x(model::distributed_preset());
+  const Prediction from_trace = x.extrapolate_trace(measured);
+  SmallProgram p2;
+  const Prediction from_prog = x.extrapolate(p2, 4);
+  EXPECT_EQ(from_trace.predicted_time, from_prog.predicted_time);
+}
+
+TEST(Extrapolator, SummaryReflectsMeasurement) {
+  SmallProgram p;
+  Extrapolator x(model::distributed_preset());
+  const Prediction pred = x.extrapolate(p, 4);
+  EXPECT_EQ(pred.measured_summary.barriers, 4);
+  EXPECT_EQ(pred.measured_summary.remote_reads, 16);
+  EXPECT_EQ(pred.measured_summary.declared_bytes, 16 * 256);
+  EXPECT_EQ(pred.measured_summary.actual_bytes, 16 * 8);
+}
+
+TEST(Extrapolator, MipsRatioMovesPredictions) {
+  model::SimParams params = model::distributed_preset();
+  params.proc.mips_ratio = 1.0;
+  SmallProgram p1, p2;
+  const Prediction base = Extrapolator(params).extrapolate(p1, 4);
+  params.proc.mips_ratio = 2.0;
+  const Prediction slow = Extrapolator(params).extrapolate(p2, 4);
+  EXPECT_GT(slow.predicted_time, base.predicted_time);
+}
+
+TEST(Extrapolator, ParamsAccessors) {
+  Extrapolator x(model::cm5_preset());
+  EXPECT_DOUBLE_EQ(x.params().proc.mips_ratio, 0.41);
+  x.params().proc.mips_ratio = 1.0;
+  EXPECT_DOUBLE_EQ(x.params().proc.mips_ratio, 1.0);
+}
+
+TEST(Extrapolator, WorksAcrossTheWholeSuite) {
+  suite::SuiteConfig cfg;
+  cfg.embar_pairs = 1 << 10;
+  cfg.cyclic_size = 32;
+  cfg.sparse_size = 128;
+  cfg.grid_blocks = 4;
+  cfg.grid_block_points = 8;
+  cfg.grid_iters = 4;
+  cfg.mgrid_size = 8;
+  cfg.mgrid_depth = 4;
+  cfg.mgrid_cycles = 1;
+  cfg.poisson_size = 16;
+  cfg.sort_keys = 64;
+  cfg.matmul_n = 4;
+  Extrapolator x(model::distributed_preset());
+  for (const auto& name : suite::benchmark_names()) {
+    auto prog = suite::make_by_name(name, cfg);
+    const Prediction pred = x.extrapolate(*prog, 4);
+    EXPECT_GT(pred.predicted_time, Time::zero()) << name;
+    EXPECT_GE(pred.predicted_time, pred.ideal_time) << name;
+  }
+}
+
+}  // namespace
+}  // namespace xp::core

@@ -1,0 +1,191 @@
+// Unit tests for the non-preemptive fiber package.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fiber/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace xp::fiber {
+namespace {
+
+TEST(Fiber, RunsSingleFiberToCompletion) {
+  Scheduler s;
+  bool ran = false;
+  s.spawn([&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.live_count(), 0u);
+}
+
+TEST(Fiber, FifoOrderWithoutYields) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    s.spawn([&, i] { order.push_back(i); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Fiber, YieldInterleaves) {
+  Scheduler s;
+  std::vector<std::string> log;
+  s.spawn([&] {
+    log.push_back("a1");
+    s.yield();
+    log.push_back("a2");
+  });
+  s.spawn([&] {
+    log.push_back("b1");
+    s.yield();
+    log.push_back("b2");
+  });
+  s.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a1", "b1", "a2", "b2"}));
+}
+
+TEST(Fiber, CurrentReportsRunningFiber) {
+  Scheduler s;
+  std::vector<int> seen;
+  for (int i = 0; i < 3; ++i)
+    s.spawn([&] { seen.push_back(s.current()); });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(s.current(), -1);
+}
+
+TEST(Fiber, BlockAndUnblock) {
+  Scheduler s;
+  std::vector<std::string> log;
+  const int a = s.spawn([&] {
+    log.push_back("a-block");
+    s.block();
+    log.push_back("a-resumed");
+  });
+  s.spawn([&, a] {
+    log.push_back("b-unblocks-a");
+    s.unblock(a);
+  });
+  s.run();
+  EXPECT_EQ(log, (std::vector<std::string>{"a-block", "b-unblocks-a",
+                                           "a-resumed"}));
+}
+
+TEST(Fiber, DeadlockDetected) {
+  Scheduler s;
+  s.spawn([&] { s.block(); });
+  EXPECT_THROW(s.run(), util::Error);
+}
+
+TEST(Fiber, ExceptionPropagatesToRun) {
+  Scheduler s;
+  s.spawn([] { throw std::runtime_error("inside fiber"); });
+  try {
+    s.run();
+    FAIL() << "exception should propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "inside fiber");
+  }
+}
+
+TEST(Fiber, ManyFibersWithDeepStacks) {
+  Scheduler s;
+  int total = 0;
+  for (int i = 0; i < 64; ++i) {
+    s.spawn([&s, &total] {
+      // Recurse to exercise the fiber stack, yielding along the way.
+      std::function<int(int)> rec = [&](int d) -> int {
+        if (d == 0) return 1;
+        if (d == 8) s.yield();
+        volatile char pad[512];
+        pad[0] = static_cast<char>(d);
+        return pad[0] == static_cast<char>(d) ? rec(d - 1) + 1 : 0;
+      };
+      total += rec(32);
+    });
+  }
+  s.run();
+  EXPECT_EQ(total, 64 * 33);
+}
+
+TEST(Fiber, SpawnFromWithinFiber) {
+  Scheduler s;
+  std::vector<int> order;
+  s.spawn([&] {
+    order.push_back(0);
+    s.spawn([&] { order.push_back(1); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(Fiber, StateQueries) {
+  Scheduler s;
+  const int id = s.spawn([&] { s.block(); });
+  EXPECT_EQ(s.state_of(id), FiberState::Ready);
+  s.spawn([&, id] {
+    EXPECT_EQ(s.state_of(id), FiberState::Blocked);
+    s.unblock(id);
+    EXPECT_EQ(s.state_of(id), FiberState::Ready);
+  });
+  s.run();
+  EXPECT_EQ(s.state_of(id), FiberState::Finished);
+  EXPECT_THROW(s.state_of(99), util::Error);
+}
+
+TEST(Fiber, UnblockNonBlockedRejected) {
+  Scheduler s;
+  const int id = s.spawn([] {});
+  EXPECT_THROW(s.unblock(id), util::Error);  // it is Ready, not Blocked
+}
+
+TEST(Fiber, IdleHookDrivesProgress) {
+  Scheduler s;
+  int blocked_id = -1;
+  bool resumed = false;
+  blocked_id = s.spawn([&] {
+    s.block();
+    resumed = true;
+  });
+  int hook_calls = 0;
+  s.set_idle_hook([&] {
+    ++hook_calls;
+    if (hook_calls == 3) {
+      s.unblock(blocked_id);
+      return true;
+    }
+    return hook_calls < 5;
+  });
+  s.run();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(hook_calls, 3);
+}
+
+TEST(Fiber, IdleHookExhaustedMeansDeadlock) {
+  Scheduler s;
+  s.spawn([&] { s.block(); });
+  s.set_idle_hook([] { return false; });
+  EXPECT_THROW(s.run(), util::Error);
+}
+
+TEST(Fiber, RejectsTinyStack) {
+  Scheduler s;
+  EXPECT_THROW(s.spawn([] {}, 1024), util::Error);
+}
+
+TEST(Fiber, YieldOutsideFiberRejected) {
+  Scheduler s;
+  EXPECT_THROW(s.yield(), util::Error);
+  EXPECT_THROW(s.block(), util::Error);
+}
+
+TEST(Fiber, StateToString) {
+  EXPECT_STREQ(to_string(FiberState::Ready), "ready");
+  EXPECT_STREQ(to_string(FiberState::Running), "running");
+  EXPECT_STREQ(to_string(FiberState::Blocked), "blocked");
+  EXPECT_STREQ(to_string(FiberState::Finished), "finished");
+}
+
+}  // namespace
+}  // namespace xp::fiber

@@ -1,0 +1,122 @@
+// Tests for parallel method invocation (the pC++ core construct).
+#include <gtest/gtest.h>
+
+#include "rt/invoke.hpp"
+#include "rt/runtime.hpp"
+#include "trace/summary.hpp"
+#include "util/error.hpp"
+
+namespace xp::rt {
+namespace {
+
+class InvokeProgram : public Program {
+ public:
+  int invocations = 3;
+  double flops_per_element = 2.0;
+
+  std::string name() const override { return "invoke"; }
+
+  void setup(Runtime& rt) override {
+    const int n = rt.n_threads();
+    data_ = std::make_unique<Collection<double>>(
+        rt, Distribution::d2(Dist::Block, Dist::Cyclic, 6, 4, n));
+    for (std::int64_t e = 0; e < data_->size(); ++e) data_->init(e) = 0.0;
+    processed_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void thread_main(Runtime& rt) override {
+    for (int k = 0; k < invocations; ++k) {
+      const std::int64_t count = parallel_invoke(
+          rt, *data_, [](double& v, std::int64_t e) {
+            v += static_cast<double>(e) + 1.0;
+          },
+          flops_per_element);
+      processed_[static_cast<std::size_t>(rt.thread_id())] = count;
+    }
+  }
+
+  void verify() override {
+    for (std::int64_t e = 0; e < data_->size(); ++e)
+      XP_REQUIRE(data_->init(e) ==
+                     invocations * (static_cast<double>(e) + 1.0),
+                 "element not updated by every invocation");
+  }
+
+  std::unique_ptr<Collection<double>> data_;
+  std::vector<std::int64_t> processed_;
+};
+
+trace::Trace run(Program& p, int n) {
+  MeasureOptions mo;
+  mo.n_threads = n;
+  return measure(p, mo);
+}
+
+TEST(ParallelInvoke, UpdatesEveryElementExactlyOncePerInvocation) {
+  for (int n : {1, 3, 4, 8}) {
+    InvokeProgram p;
+    EXPECT_NO_THROW(run(p, n)) << n;  // verify() checks the math
+  }
+}
+
+TEST(ParallelInvoke, EndsWithAGlobalBarrier) {
+  InvokeProgram p;
+  p.invocations = 5;
+  const trace::Trace t = run(p, 4);
+  EXPECT_EQ(trace::summarize(t).barriers, 5);
+}
+
+TEST(ParallelInvoke, ChargesWorkOnlyToOwningThreads) {
+  InvokeProgram p;
+  p.invocations = 1;
+  p.flops_per_element = 1136.0;  // 1 ms per element on the sun4 rating
+  // 24 elements over 32 threads: some threads own nothing.
+  const trace::Trace t = run(p, 32);
+  const auto s = trace::summarize(t);
+  // Total compute = 24 elements x 1 ms.
+  EXPECT_EQ(s.total_compute, util::Time::ms(24));
+  bool some_idle = false;
+  for (const auto& ts : s.threads)
+    if (ts.compute.is_zero()) some_idle = true;
+  EXPECT_TRUE(some_idle);
+}
+
+TEST(ParallelInvoke, ProcessedCountsMatchDistribution) {
+  InvokeProgram p;
+  const trace::Trace t = run(p, 4);
+  (void)t;
+  std::int64_t total = 0;
+  for (std::int64_t c : p.processed_) total += c;
+  EXPECT_EQ(total, 24);
+}
+
+TEST(ParallelInvokeRc, PassesRowColCoordinates) {
+  class RcProgram : public Program {
+   public:
+    std::string name() const override { return "rc"; }
+    void setup(Runtime& rt) override {
+      data_ = std::make_unique<Collection<double>>(
+          rt, Distribution::d2(Dist::Block, Dist::Block, 4, 4,
+                               rt.n_threads()));
+      for (std::int64_t e = 0; e < 16; ++e) data_->init(e) = 0.0;
+    }
+    void thread_main(Runtime& rt) override {
+      parallel_invoke_rc(rt, *data_,
+                         [](double& v, std::int64_t i, std::int64_t j) {
+                           v = 10.0 * static_cast<double>(i) +
+                               static_cast<double>(j);
+                         });
+    }
+    void verify() override {
+      for (std::int64_t i = 0; i < 4; ++i)
+        for (std::int64_t j = 0; j < 4; ++j)
+          XP_REQUIRE(data_->init_rc(i, j) == 10.0 * i + j,
+                     "wrong coordinates delivered");
+    }
+    std::unique_ptr<Collection<double>> data_;
+  } p;
+  EXPECT_NO_THROW(run(p, 4));
+}
+
+}  // namespace
+}  // namespace xp::rt

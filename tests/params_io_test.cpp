@@ -1,0 +1,125 @@
+// Tests for parameter-set file parsing and serialization.
+#include <gtest/gtest.h>
+
+#include "model/params_io.hpp"
+#include "util/error.hpp"
+
+namespace xp::model {
+namespace {
+
+TEST(ParamsIo, ParsesKeysAndComments) {
+  const SimParams p = parse_params_string(R"(
+# a comment line
+proc.mips_ratio = 0.41   # trailing comment
+proc.policy = poll
+proc.poll_interval_us = 250
+comm.startup_us = 12.5
+network.topology = hypercube
+barrier.alg = logtree
+size_mode = actual
+cluster.procs_per_cluster = 4
+)");
+  EXPECT_DOUBLE_EQ(p.proc.mips_ratio, 0.41);
+  EXPECT_EQ(p.proc.policy, ServicePolicy::Poll);
+  EXPECT_EQ(p.proc.poll_interval, Time::us(250));
+  EXPECT_EQ(p.comm.comm_startup, Time::us(12.5));
+  EXPECT_EQ(p.network.topology, net::TopologyKind::Hypercube);
+  EXPECT_EQ(p.barrier.alg, BarrierAlg::LogTree);
+  EXPECT_EQ(p.size_mode, TransferSizeMode::Actual);
+  EXPECT_EQ(p.cluster.procs_per_cluster, 4);
+}
+
+TEST(ParamsIo, PresetSeedsThenOverrides) {
+  const SimParams p = parse_params_string(
+      "preset = cm5\ncomm.byte_transfer_us = 0.5\n");
+  // Overridden field.
+  EXPECT_EQ(p.comm.byte_transfer, Time::us(0.5));
+  // Fields inherited from the CM-5 preset.
+  EXPECT_DOUBLE_EQ(p.proc.mips_ratio, 0.41);
+  EXPECT_EQ(p.barrier.model_time, Time::us(5.0));
+}
+
+TEST(ParamsIo, PresetMustComeFirst) {
+  EXPECT_THROW(
+      parse_params_string("proc.mips_ratio = 1.0\npreset = cm5\n"),
+      util::ParamError);
+}
+
+TEST(ParamsIo, UnknownKeysRejected) {
+  EXPECT_THROW(parse_params_string("proc.mipsratio = 1.0\n"),
+               util::ParamError);
+  EXPECT_THROW(parse_params_string("nonsense\n"), util::ParamError);
+  EXPECT_THROW(parse_params_string("comm.startup_us = \n"),
+               util::ParamError);
+}
+
+TEST(ParamsIo, BadValuesRejectedWithLineContext) {
+  try {
+    parse_params_string("proc.mips_ratio = fast\n");
+    FAIL() << "should throw";
+  } catch (const util::ParamError& e) {
+    EXPECT_NE(std::string(e.what()).find("proc.mips_ratio = fast"),
+              std::string::npos);
+  }
+  EXPECT_THROW(parse_params_string("barrier.by_msgs = maybe\n"),
+               util::ParamError);
+  EXPECT_THROW(parse_params_string("proc.policy = sometimes\n"),
+               util::ParamError);
+  EXPECT_THROW(parse_params_string("network.topology = donut\n"),
+               util::ParamError);
+}
+
+TEST(ParamsIo, RoundTripsEveryField) {
+  SimParams p = distributed_preset();
+  p.proc.mips_ratio = 0.37;
+  p.proc.policy = ServicePolicy::Poll;
+  p.proc.poll_interval = Time::us(123);
+  p.proc.n_procs = 5;
+  p.comm.request_bytes = 48;
+  p.network.topology = net::TopologyKind::Ring;
+  p.network.contention.max_multiplier = 7.5;
+  p.barrier.alg = BarrierAlg::Hardware;
+  p.barrier.msg_size = 64;
+  p.cluster.procs_per_cluster = 2;
+  p.cluster.intra_latency = Time::us(3);
+  p.size_mode = TransferSizeMode::Actual;
+
+  const SimParams q = parse_params_string(serialize_params(p));
+  EXPECT_EQ(serialize_params(q), serialize_params(p));
+  EXPECT_DOUBLE_EQ(q.proc.mips_ratio, p.proc.mips_ratio);
+  EXPECT_EQ(q.proc.poll_interval, p.proc.poll_interval);
+  EXPECT_EQ(q.network.topology, p.network.topology);
+  EXPECT_EQ(q.barrier.alg, p.barrier.alg);
+  EXPECT_EQ(q.cluster.procs_per_cluster, p.cluster.procs_per_cluster);
+  EXPECT_EQ(q.size_mode, p.size_mode);
+}
+
+TEST(ParamsIo, EveryPresetRoundTrips) {
+  for (const char* name : {"distributed", "shared", "ideal", "cm5",
+                           "paragon", "sp1", "sgi", "default"}) {
+    const SimParams p = preset_by_name(name);
+    const SimParams q = parse_params_string(serialize_params(p));
+    EXPECT_EQ(serialize_params(q), serialize_params(p)) << name;
+  }
+  EXPECT_THROW(preset_by_name("sun4"), util::ParamError);
+  EXPECT_EQ(serialize_params(preset_by_name("paragon")),
+            serialize_params(paragon_preset()));
+}
+
+TEST(ParamsIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/params.cfg";
+  SimParams p = cm5_preset();
+  p.proc.poll_interval = Time::us(77);
+  save_params(p, path);
+  const SimParams q = load_params(path);
+  EXPECT_EQ(serialize_params(q), serialize_params(p));
+  EXPECT_THROW(load_params("/nonexistent/nowhere.cfg"), util::Error);
+}
+
+TEST(ParamsIo, ParsedParamsValidate) {
+  const SimParams p = parse_params_string("preset = distributed\n");
+  EXPECT_NO_THROW(p.validate(16));
+}
+
+}  // namespace
+}  // namespace xp::model

@@ -1,0 +1,107 @@
+// Tests for trace transformations (slicing / filtering).
+#include <gtest/gtest.h>
+
+#include "trace/summary.hpp"
+#include "trace/transform.hpp"
+#include "util/error.hpp"
+
+namespace xp::trace {
+namespace {
+
+Event ev(double t_us, int thread, EventKind kind, int barrier = -1,
+         int peer = -1) {
+  Event e;
+  e.time = Time::us(t_us);
+  e.thread = thread;
+  e.kind = kind;
+  e.barrier_id = barrier;
+  e.peer = peer;
+  if (is_remote(kind)) e.declared_bytes = e.actual_bytes = 8;
+  return e;
+}
+
+// Two threads, two barriers, a remote read in each phase.
+Trace demo() {
+  Trace t(2);
+  t.set_meta("program", "demo");
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  t.append(ev(5, 0, EventKind::RemoteRead, -1, 1));
+  t.append(ev(10, 0, EventKind::BarrierEntry, 0));
+  t.append(ev(20, 0, EventKind::BarrierExit, 0));
+  t.append(ev(25, 0, EventKind::RemoteRead, -1, 1));
+  t.append(ev(40, 0, EventKind::BarrierEntry, 1));
+  t.append(ev(40, 0, EventKind::BarrierExit, 1));
+  t.append(ev(45, 0, EventKind::ThreadEnd));
+  t.append(ev(0, 1, EventKind::ThreadBegin));
+  t.append(ev(20, 1, EventKind::BarrierEntry, 0));
+  t.append(ev(20, 1, EventKind::BarrierExit, 0));
+  t.append(ev(35, 1, EventKind::BarrierEntry, 1));
+  t.append(ev(40, 1, EventKind::BarrierExit, 1));
+  t.append(ev(42, 1, EventKind::ThreadEnd));
+  t.sort_by_time();
+  return t;
+}
+
+TEST(Transform, TimeSliceKeepsWindow) {
+  const Trace s = time_slice(demo(), Time::us(10), Time::us(40));
+  for (const Event& e : s.events()) {
+    EXPECT_GE(e.time, Time::us(10));
+    EXPECT_LT(e.time, Time::us(40));
+  }
+  // Window is half-open: the 40us events are excluded, the 10us included.
+  EXPECT_EQ(s.size(), 6u);
+  EXPECT_EQ(s.meta("program"), "demo");
+  EXPECT_THROW(time_slice(demo(), Time::us(5), Time::us(1)), util::Error);
+}
+
+TEST(Transform, SelectThreads) {
+  const Trace s = select_threads(demo(), {1});
+  EXPECT_EQ(s.size(), 6u);
+  for (const Event& e : s.events()) EXPECT_EQ(e.thread, 1);
+  EXPECT_THROW(select_threads(demo(), {5}), util::Error);
+}
+
+TEST(Transform, FilterArbitraryPredicate) {
+  const Trace reads =
+      filter(demo(), [](const Event& e) { return is_remote(e.kind); });
+  EXPECT_EQ(reads.size(), 2u);
+  EXPECT_EQ(count_kind(demo(), EventKind::RemoteRead), 2);
+  EXPECT_EQ(count_kind(demo(), EventKind::BarrierEntry), 4);
+}
+
+TEST(Transform, PhaseSliceFirstPhase) {
+  const Trace p0 = phase_slice(demo(), 0);
+  // Phase 0: thread 0's begin/read/entry/exit + thread 1's begin/entry/exit.
+  EXPECT_EQ(p0.size(), 7u);
+  EXPECT_EQ(count_kind(p0, EventKind::ThreadBegin), 2);
+  EXPECT_EQ(count_kind(p0, EventKind::RemoteRead), 1);
+  for (const Event& e : p0.events()) EXPECT_LE(e.time, Time::us(20));
+}
+
+TEST(Transform, PhaseSliceLaterPhase) {
+  const Trace p1 = phase_slice(demo(), 1);
+  // Phase 1: thread 0's read/entry/exit + thread 1's entry/exit.
+  EXPECT_EQ(p1.size(), 5u);
+  EXPECT_EQ(count_kind(p1, EventKind::RemoteRead), 1);
+  EXPECT_EQ(count_kind(p1, EventKind::ThreadBegin), 0);
+  for (const Event& e : p1.events()) {
+    EXPECT_GE(e.time, Time::us(20));
+    EXPECT_LE(e.time, Time::us(40));
+  }
+}
+
+TEST(Transform, PhaseSliceUnknownBarrier) {
+  EXPECT_THROW(phase_slice(demo(), 99), util::Error);
+}
+
+TEST(Transform, PhaseSlicesPartitionBarrierEvents) {
+  // Every barrier entry/exit lands in exactly one phase slice.
+  const Trace t = demo();
+  std::int64_t entries = 0;
+  for (int b : {0, 1})
+    entries += count_kind(phase_slice(t, b), EventKind::BarrierEntry);
+  EXPECT_EQ(entries, count_kind(t, EventKind::BarrierEntry));
+}
+
+}  // namespace
+}  // namespace xp::trace

@@ -1,0 +1,320 @@
+// Unit tests for trace translation (§3.2) — the timestamp-adjustment
+// algorithm at the heart of the extrapolation.
+#include <gtest/gtest.h>
+
+#include "core/translate.hpp"
+#include "rt/collection.hpp"
+#include "rt/runtime.hpp"
+#include "util/error.hpp"
+
+namespace xp::core {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::Trace;
+
+Event ev(std::int64_t t_us, int thread, EventKind kind, int barrier = -1) {
+  Event e;
+  e.time = Time::us(static_cast<double>(t_us));
+  e.thread = thread;
+  e.kind = kind;
+  e.barrier_id = barrier;
+  return e;
+}
+
+// Hand-built measured trace: two threads on one processor.
+//  thread 0: begin@0, compute 10, entry@10 ........ exit@30, compute 5, end@35
+//  thread 1: begin@10 (started after t0 blocked), compute 20, entry@30,
+//            exit@30 (last arriver), end@40
+Trace measured_two_threads() {
+  Trace t(2);
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  t.append(ev(10, 0, EventKind::BarrierEntry, 0));
+  t.append(ev(10, 1, EventKind::ThreadBegin));
+  t.append(ev(30, 1, EventKind::BarrierEntry, 0));
+  t.append(ev(30, 1, EventKind::BarrierExit, 0));
+  t.append(ev(30, 0, EventKind::BarrierExit, 0));
+  t.append(ev(35, 0, EventKind::ThreadEnd));
+  t.append(ev(40, 1, EventKind::ThreadEnd));
+  t.sort_by_time();
+  return t;
+}
+
+TEST(Translate, FirstEventMovesToZero) {
+  const auto parts = translate(measured_two_threads());
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0].events().front().time, Time::zero());
+  EXPECT_EQ(parts[1].events().front().time, Time::zero());
+}
+
+TEST(Translate, DeltasPreservedForNonSyncEvents) {
+  const auto parts = translate(measured_two_threads());
+  // Thread 0: begin@0, entry@10 (delta 10 preserved).
+  EXPECT_EQ(parts[0].events()[1].time, Time::us(10));
+  // Thread 1: begin@0', entry at +20.
+  EXPECT_EQ(parts[1].events()[1].time, Time::us(20));
+}
+
+TEST(Translate, BarrierExitAlignedToLatestEntry) {
+  const auto parts = translate(measured_two_threads());
+  // Latest translated entry is thread 1 at 20us; both exits land there.
+  EXPECT_EQ(parts[0].events()[2].time, Time::us(20));
+  EXPECT_EQ(parts[1].events()[2].time, Time::us(20));
+}
+
+TEST(Translate, PostBarrierDeltasMeasuredFromExit) {
+  const auto parts = translate(measured_two_threads());
+  // Thread 0: exit@30 -> end@35 is 5us of compute; translated 20 -> 25.
+  EXPECT_EQ(parts[0].events()[3].time, Time::us(25));
+  // Thread 1: exit@30 -> end@40: translated 20 -> 30.
+  EXPECT_EQ(parts[1].events()[3].time, Time::us(30));
+}
+
+TEST(Translate, IdealParallelTime) {
+  const auto parts = translate(measured_two_threads());
+  EXPECT_EQ(ideal_parallel_time(parts), Time::us(30));
+}
+
+TEST(Translate, MultipleBarriersChainCorrectly) {
+  Trace t(2);
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  t.append(ev(5, 0, EventKind::BarrierEntry, 0));
+  t.append(ev(5, 1, EventKind::ThreadBegin));
+  t.append(ev(6, 1, EventKind::BarrierEntry, 0));   // last in: releases
+  t.append(ev(6, 1, EventKind::BarrierExit, 0));
+  t.append(ev(16, 1, EventKind::BarrierEntry, 1));  // computes 10
+  t.append(ev(16, 0, EventKind::BarrierExit, 0));
+  t.append(ev(18, 0, EventKind::BarrierEntry, 1));  // computes 2, last in
+  t.append(ev(18, 0, EventKind::BarrierExit, 1));
+  t.append(ev(19, 0, EventKind::ThreadEnd));
+  t.append(ev(18, 1, EventKind::BarrierExit, 1));
+  t.append(ev(20, 1, EventKind::ThreadEnd));
+  t.sort_by_time();
+  const auto parts = translate(t);
+  // Barrier 0: entries at 5 (t0) and 1 (t1: begin 0, delta 6-5=1) -> release 5.
+  EXPECT_EQ(parts[0].events()[1].time, Time::us(5));
+  EXPECT_EQ(parts[1].events()[1].time, Time::us(1));
+  EXPECT_EQ(parts[0].events()[2].time, Time::us(5));
+  EXPECT_EQ(parts[1].events()[2].time, Time::us(5));
+  // Barrier 1: t0 entry 5+2=7, t1 entry 5+10=15 -> release 15.
+  EXPECT_EQ(parts[0].events()[3].time, Time::us(7));
+  EXPECT_EQ(parts[1].events()[3].time, Time::us(15));
+  EXPECT_EQ(parts[0].events()[4].time, Time::us(15));
+  EXPECT_EQ(parts[1].events()[4].time, Time::us(15));
+  // Tails: t0 end 15+1=16, t1 end 15+2=17.
+  EXPECT_EQ(parts[0].events()[5].time, Time::us(16));
+  EXPECT_EQ(parts[1].events()[5].time, Time::us(17));
+}
+
+TEST(Translate, RemovesInstrumentationOverhead) {
+  Trace t(1);
+  t.set_meta("event_overhead_ns", "2000");  // 2us per recorded event
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  // Real compute 10us, but the clock also carries 2us of overhead from
+  // recording ThreadBegin: events are 12us apart.
+  t.append(ev(12, 0, EventKind::PhaseBegin));
+  t.append(ev(24, 0, EventKind::ThreadEnd));
+  const auto parts = translate(t);
+  EXPECT_EQ(parts[0].events()[1].time, Time::us(10));
+  EXPECT_EQ(parts[0].events()[2].time, Time::us(20));
+}
+
+TEST(Translate, OverheadRemovalCanBeDisabled) {
+  Trace t(1);
+  t.set_meta("event_overhead_ns", "2000");
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  t.append(ev(12, 0, EventKind::ThreadEnd));
+  TranslateOptions opt;
+  opt.remove_event_overhead = false;
+  const auto parts = translate(t, opt);
+  EXPECT_EQ(parts[0].events()[1].time, Time::us(12));
+}
+
+TEST(Translate, OverheadOverride) {
+  Trace t(1);
+  t.set_meta("event_overhead_ns", "2000");
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  t.append(ev(12, 0, EventKind::ThreadEnd));
+  TranslateOptions opt;
+  opt.event_overhead_override = Time::us(4);
+  const auto parts = translate(t, opt);
+  EXPECT_EQ(parts[0].events()[1].time, Time::us(8));
+}
+
+TEST(Translate, NegativeDeltasClampToZero) {
+  Trace t(1);
+  t.set_meta("event_overhead_ns", "5000");  // larger than the real gap
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  t.append(ev(2, 0, EventKind::ThreadEnd));
+  const auto parts = translate(t);
+  EXPECT_EQ(parts[0].events()[1].time, Time::zero());
+}
+
+TEST(Translate, ValidatesInput) {
+  Trace bad(1);
+  bad.append(ev(0, 0, EventKind::BarrierExit, 0));
+  EXPECT_THROW(translate(bad), util::TraceError);
+}
+
+TEST(Translate, NoBarriersPureDeltaChain) {
+  Trace t(2);
+  t.append(ev(0, 0, EventKind::ThreadBegin));
+  t.append(ev(7, 0, EventKind::ThreadEnd));
+  t.append(ev(7, 1, EventKind::ThreadBegin));
+  t.append(ev(20, 1, EventKind::ThreadEnd));
+  const auto parts = translate(t);
+  EXPECT_EQ(parts[0].events()[1].time, Time::us(7));
+  EXPECT_EQ(parts[1].events()[1].time, Time::us(13));
+  EXPECT_EQ(ideal_parallel_time(parts), Time::us(13));
+}
+
+TEST(Translate, RemovesBufferFlushCharges) {
+  // Every 3rd recorded event flushes the buffer (100 us).  Removal must
+  // reproduce the clean measurement's translated timeline exactly.
+  class Prog : public rt::Program {
+   public:
+    std::string name() const override { return "flushy"; }
+    void setup(rt::Runtime&) override {}
+    void thread_main(rt::Runtime& rt) override {
+      for (int k = 0; k < 4; ++k) {
+        rt.compute_flops(1136.0 * (rt.thread_id() + 1));
+        rt.phase_begin(k);
+        rt.phase_end(k);
+        rt.barrier();
+      }
+    }
+  };
+  auto run = [](std::int64_t flush_every, Time flush_cost) {
+    Prog p;
+    rt::MeasureOptions mo;
+    mo.n_threads = 3;
+    mo.host.flush_every = flush_every;
+    mo.host.flush_cost = flush_cost;
+    return rt::measure(p, mo);
+  };
+  const Trace clean = run(0, Time::zero());
+  const Trace flushed = run(3, Time::us(100));
+  EXPECT_GT(flushed.end_time(), clean.end_time());
+  EXPECT_EQ(flushed.meta("flush_every"), "3");
+
+  const auto a = translate(clean);
+  const auto b = translate(flushed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].size(), b[t].size());
+    for (std::size_t i = 0; i < a[t].size(); ++i)
+      EXPECT_EQ(a[t][i].time, b[t][i].time)
+          << "thread " << t << " event " << i;
+  }
+}
+
+TEST(Translate, FlushAndEventOverheadComposeExactly) {
+  class Prog : public rt::Program {
+   public:
+    std::string name() const override { return "combo"; }
+    void setup(rt::Runtime&) override {}
+    void thread_main(rt::Runtime& rt) override {
+      for (int k = 0; k < 3; ++k) {
+        rt.compute_flops(1136.0 * 7);
+        rt.barrier();
+      }
+    }
+  };
+  auto run = [](bool perturbed) {
+    Prog p;
+    rt::MeasureOptions mo;
+    mo.n_threads = 4;
+    if (perturbed) {
+      mo.host.event_overhead = Time::us(5);
+      mo.host.flush_every = 5;
+      mo.host.flush_cost = Time::us(40);
+    }
+    return rt::measure(p, mo);
+  };
+  const auto a = translate(run(false));
+  const auto b = translate(run(true));
+  for (std::size_t t = 0; t < a.size(); ++t)
+    for (std::size_t i = 0; i < a[t].size(); ++i)
+      EXPECT_EQ(a[t][i].time, b[t][i].time);
+}
+
+TEST(Translate, SwitchOverheadOnlyLandsInDiscardedSpans) {
+  // The fiber-switch cost is charged when a thread blocks at a barrier;
+  // it can only inflate barrier-wait spans, which translation discards.
+  class Prog : public rt::Program {
+   public:
+    std::string name() const override { return "switchy"; }
+    void setup(rt::Runtime&) override {}
+    void thread_main(rt::Runtime& rt) override {
+      for (int k = 0; k < 3; ++k) {
+        rt.compute_flops(1136.0 * (1 + rt.thread_id()));
+        rt.barrier();
+      }
+    }
+  };
+  auto run = [](Time sw) {
+    Prog p;
+    rt::MeasureOptions mo;
+    mo.n_threads = 4;
+    mo.host.switch_overhead = sw;
+    return rt::measure(p, mo);
+  };
+  const auto a = translate(run(Time::zero()));
+  const auto b = translate(run(Time::us(25)));
+  for (std::size_t t = 0; t < a.size(); ++t)
+    for (std::size_t i = 0; i < a[t].size(); ++i)
+      EXPECT_EQ(a[t][i].time, b[t][i].time);
+}
+
+// End-to-end property: translating a real measured trace keeps all the
+// structural invariants.
+TEST(Translate, RealProgramInvariants) {
+  class Prog : public rt::Program {
+   public:
+    std::string name() const override { return "p"; }
+    void setup(rt::Runtime& rt) override {
+      c_ = std::make_unique<rt::Collection<double>>(
+          rt,
+          rt::Distribution::d1(rt::Dist::Cyclic, 2 * rt.n_threads(),
+                               rt.n_threads()));
+      for (std::int64_t i = 0; i < c_->size(); ++i) c_->init(i) = 1.0;
+    }
+    void thread_main(rt::Runtime& rt) override {
+      for (int k = 0; k < 3; ++k) {
+        rt.compute_flops(100.0 * (rt.thread_id() + 1));
+        (void)c_->get((rt.thread_id() + k) % c_->size(), 8);
+        rt.barrier();
+      }
+    }
+    std::unique_ptr<rt::Collection<double>> c_;
+  } prog;
+  rt::MeasureOptions mo;
+  mo.n_threads = 5;
+  const Trace measured = rt::measure(prog, mo);
+  const auto parts = translate(measured);
+  ASSERT_EQ(parts.size(), 5u);
+
+  // Per-thread: time-ordered, first at zero; barrier exits equal across
+  // threads and equal to the max entry.
+  std::vector<Time> entry(5), exit_(5);
+  for (int b = 0; b < 3; ++b) {
+    Time max_entry;
+    for (int t = 0; t < 5; ++t) {
+      const auto& evs = parts[static_cast<size_t>(t)].events();
+      EXPECT_TRUE(parts[static_cast<size_t>(t)].is_time_ordered());
+      EXPECT_EQ(evs.front().time, Time::zero());
+      for (std::size_t i = 0; i < evs.size(); ++i) {
+        if (evs[i].kind == EventKind::BarrierEntry && evs[i].barrier_id == b)
+          entry[static_cast<size_t>(t)] = evs[i].time;
+        if (evs[i].kind == EventKind::BarrierExit && evs[i].barrier_id == b)
+          exit_[static_cast<size_t>(t)] = evs[i].time;
+      }
+      max_entry = util::max(max_entry, entry[static_cast<size_t>(t)]);
+    }
+    for (int t = 0; t < 5; ++t) EXPECT_EQ(exit_[static_cast<size_t>(t)], max_entry);
+  }
+}
+
+}  // namespace
+}  // namespace xp::core

@@ -1,0 +1,88 @@
+// Tests for the extrapolation-driven runtime tuner.
+#include <gtest/gtest.h>
+
+#include "core/translate.hpp"
+#include "core/tuner.hpp"
+#include "rt/runtime.hpp"
+#include "suite/suite.hpp"
+#include "util/error.hpp"
+
+namespace xp::core {
+namespace {
+
+std::vector<trace::Trace> cyclic_traces(int n) {
+  suite::SuiteConfig cfg;
+  cfg.cyclic_size = 64;
+  cfg.cyclic_width = 8;
+  auto prog = suite::make_cyclic(cfg);
+  rt::MeasureOptions mo;
+  mo.n_threads = n;
+  return translate(rt::measure(*prog, mo));
+}
+
+TEST(Tuner, PollTuneFindsTheMinimumOfItsCandidates) {
+  const auto traces = cyclic_traces(8);
+  auto params = model::distributed_preset();
+  params.comm.comm_startup = Time::us(100);
+  const std::vector<Time> candidates{Time::us(25), Time::us(100),
+                                     Time::us(1000)};
+  const PollTuneResult r = tune_poll_interval(traces, params, candidates);
+  ASSERT_EQ(r.tried.size(), 3u);
+  for (const auto& [iv, t] : r.tried) {
+    EXPECT_GE(t, r.best_time);
+    if (iv == r.best_interval) {
+      EXPECT_EQ(t, r.best_time);
+    }
+  }
+}
+
+TEST(Tuner, DefaultCandidatesAreSaneAndOrdered) {
+  const auto& d = default_poll_intervals();
+  ASSERT_GE(d.size(), 5u);
+  for (std::size_t i = 1; i < d.size(); ++i) EXPECT_LT(d[i - 1], d[i]);
+  EXPECT_GT(d.front(), Time::zero());
+}
+
+TEST(Tuner, RejectsBadCandidates) {
+  const auto traces = cyclic_traces(4);
+  auto params = model::distributed_preset();
+  EXPECT_THROW(tune_poll_interval(traces, params, {}), util::Error);
+  EXPECT_THROW(tune_poll_interval(traces, params, {Time::zero()}),
+               util::Error);
+}
+
+TEST(Tuner, ChoosesBestOfThreePolicies) {
+  const auto traces = cyclic_traces(8);
+  auto params = model::distributed_preset();
+  params.comm.comm_startup = Time::us(100);
+  const PolicyChoice c = choose_service_policy(traces, params);
+  // The chosen policy's time is the min of the three reported times.
+  EXPECT_EQ(c.predicted, util::min(c.no_interrupt_time,
+                                   util::min(c.interrupt_time, c.poll_time)));
+  EXPECT_GT(c.no_interrupt_time, Time::zero());
+  EXPECT_GT(c.interrupt_time, Time::zero());
+  EXPECT_GT(c.poll_time, Time::zero());
+}
+
+TEST(Tuner, TuningNeverWorseThanArbitraryInterval) {
+  const auto traces = cyclic_traces(8);
+  auto params = model::distributed_preset();
+  const PollTuneResult tuned = tune_poll_interval(traces, params);
+  params.proc.policy = model::ServicePolicy::Poll;
+  params.proc.poll_interval = Time::us(137);  // arbitrary untuned choice
+  const Time arbitrary = simulate(traces, params).makespan;
+  EXPECT_LE(tuned.best_time, arbitrary * 1.0001);
+}
+
+TEST(Tuner, DeterministicChoice) {
+  const auto traces = cyclic_traces(4);
+  const auto params = model::distributed_preset();
+  const PolicyChoice a = choose_service_policy(traces, params);
+  const PolicyChoice b = choose_service_policy(traces, params);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.predicted, b.predicted);
+  EXPECT_EQ(a.poll_interval, b.poll_interval);
+}
+
+}  // namespace
+}  // namespace xp::core
