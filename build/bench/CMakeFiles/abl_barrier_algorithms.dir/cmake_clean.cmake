@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_barrier_algorithms.dir/abl_barrier_algorithms.cpp.o"
+  "CMakeFiles/abl_barrier_algorithms.dir/abl_barrier_algorithms.cpp.o.d"
+  "abl_barrier_algorithms"
+  "abl_barrier_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_barrier_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

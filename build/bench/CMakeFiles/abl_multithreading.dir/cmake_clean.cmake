@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multithreading.dir/abl_multithreading.cpp.o"
+  "CMakeFiles/abl_multithreading.dir/abl_multithreading.cpp.o.d"
+  "abl_multithreading"
+  "abl_multithreading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multithreading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

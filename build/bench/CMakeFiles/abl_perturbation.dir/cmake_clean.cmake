@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_perturbation.dir/abl_perturbation.cpp.o"
+  "CMakeFiles/abl_perturbation.dir/abl_perturbation.cpp.o.d"
+  "abl_perturbation"
+  "abl_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_suite_validation.dir/abl_suite_validation.cpp.o"
+  "CMakeFiles/abl_suite_validation.dir/abl_suite_validation.cpp.o.d"
+  "abl_suite_validation"
+  "abl_suite_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_suite_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_speedup_all.dir/fig4_speedup_all.cpp.o"
+  "CMakeFiles/fig4_speedup_all.dir/fig4_speedup_all.cpp.o.d"
+  "fig4_speedup_all"
+  "fig4_speedup_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_speedup_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_mipsratio.dir/fig6_mipsratio.cpp.o"
+  "CMakeFiles/fig6_mipsratio.dir/fig6_mipsratio.cpp.o.d"
+  "fig6_mipsratio"
+  "fig6_mipsratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mipsratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mgrid_comm.dir/fig7_mgrid_comm.cpp.o"
+  "CMakeFiles/fig7_mgrid_comm.dir/fig7_mgrid_comm.cpp.o.d"
+  "fig7_mgrid_comm"
+  "fig7_mgrid_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mgrid_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

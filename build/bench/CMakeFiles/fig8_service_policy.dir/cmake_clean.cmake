@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_service_policy.dir/fig8_service_policy.cpp.o"
+  "CMakeFiles/fig8_service_policy.dir/fig8_service_policy.cpp.o.d"
+  "fig8_service_policy"
+  "fig8_service_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_service_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

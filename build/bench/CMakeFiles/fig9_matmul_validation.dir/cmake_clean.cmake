@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_matmul_validation.dir/fig9_matmul_validation.cpp.o"
+  "CMakeFiles/fig9_matmul_validation.dir/fig9_matmul_validation.cpp.o.d"
+  "fig9_matmul_validation"
+  "fig9_matmul_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_matmul_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

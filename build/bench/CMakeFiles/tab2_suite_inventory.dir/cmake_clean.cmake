@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_suite_inventory.dir/tab2_suite_inventory.cpp.o"
+  "CMakeFiles/tab2_suite_inventory.dir/tab2_suite_inventory.cpp.o.d"
+  "tab2_suite_inventory"
+  "tab2_suite_inventory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_suite_inventory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

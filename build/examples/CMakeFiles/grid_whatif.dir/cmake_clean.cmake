@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_whatif.dir/grid_whatif.cpp.o"
+  "CMakeFiles/grid_whatif.dir/grid_whatif.cpp.o.d"
+  "grid_whatif"
+  "grid_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_tuning.dir/matmul_tuning.cpp.o"
+  "CMakeFiles/matmul_tuning.dir/matmul_tuning.cpp.o.d"
+  "matmul_tuning"
+  "matmul_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalability_report.dir/scalability_report.cpp.o"
+  "CMakeFiles/scalability_report.dir/scalability_report.cpp.o.d"
+  "scalability_report"
+  "scalability_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalability_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_view.dir/timeline_view.cpp.o"
+  "CMakeFiles/timeline_view.dir/timeline_view.cpp.o.d"
+  "timeline_view"
+  "timeline_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

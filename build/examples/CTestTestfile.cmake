@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "--bench=cyclic" "--threads=4")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_quickstart_cm5 "/root/repo/build/examples/quickstart" "--bench=sort" "--threads=4" "--preset=cm5")
+set_tests_properties(example_quickstart_cm5 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_grid_whatif "/root/repo/build/examples/grid_whatif" "--threads=4")
+set_tests_properties(example_grid_whatif PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matmul_tuning "/root/repo/build/examples/matmul_tuning" "--threads=4" "--n=8" "--validate")
+set_tests_properties(example_matmul_tuning PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_policy_explorer "/root/repo/build/examples/policy_explorer" "--bench=cyclic" "--procs=2,4" "--poll-intervals=100,500")
+set_tests_properties(example_policy_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_timeline_view "/root/repo/build/examples/timeline_view" "--bench=sparse" "--threads=4" "--width=40")
+set_tests_properties(example_timeline_view PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;32;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_scalability "/root/repo/build/examples/scalability_report" "--bench=embar" "--procs=1,2,4" "--phases")
+set_tests_properties(example_scalability PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_machine_shootout "/root/repo/build/examples/machine_shootout" "--bench=sort" "--procs=4,8" "--machines=cm5,paragon")
+set_tests_properties(example_machine_shootout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;36;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_trace_tools "/root/repo/build/examples/trace_tools" "--measure=embar" "--threads=2" "--out=trace_tools_smoke.xptb")
+set_tests_properties(example_trace_tools PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;39;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_custom_program "/root/repo/build/examples/custom_program" "--cells=128" "--steps=10" "--threads=4" "--timeline")
+set_tests_properties(example_custom_program PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;42;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_help "/root/repo/build/examples/quickstart" "--help")
+set_tests_properties(example_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;45;add_test;/root/repo/examples/CMakeLists.txt;0;")

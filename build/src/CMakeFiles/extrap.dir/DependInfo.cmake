@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/extrapolator.cpp" "src/CMakeFiles/extrap.dir/core/extrapolator.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/core/extrapolator.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/extrap.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/core/simulator.cpp.o.d"
+  "/root/repo/src/core/translate.cpp" "src/CMakeFiles/extrap.dir/core/translate.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/core/translate.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/CMakeFiles/extrap.dir/core/tuner.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/core/tuner.cpp.o.d"
+  "/root/repo/src/fiber/fiber.cpp" "src/CMakeFiles/extrap.dir/fiber/fiber.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/fiber/fiber.cpp.o.d"
+  "/root/repo/src/fiber/scheduler.cpp" "src/CMakeFiles/extrap.dir/fiber/scheduler.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/fiber/scheduler.cpp.o.d"
+  "/root/repo/src/machine/machine_sim.cpp" "src/CMakeFiles/extrap.dir/machine/machine_sim.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/machine/machine_sim.cpp.o.d"
+  "/root/repo/src/metrics/metrics.cpp" "src/CMakeFiles/extrap.dir/metrics/metrics.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/metrics/metrics.cpp.o.d"
+  "/root/repo/src/metrics/phases.cpp" "src/CMakeFiles/extrap.dir/metrics/phases.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/metrics/phases.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/CMakeFiles/extrap.dir/metrics/report.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/metrics/report.cpp.o.d"
+  "/root/repo/src/metrics/scalability.cpp" "src/CMakeFiles/extrap.dir/metrics/scalability.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/metrics/scalability.cpp.o.d"
+  "/root/repo/src/metrics/timeline.cpp" "src/CMakeFiles/extrap.dir/metrics/timeline.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/metrics/timeline.cpp.o.d"
+  "/root/repo/src/model/barrier_model.cpp" "src/CMakeFiles/extrap.dir/model/barrier_model.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/model/barrier_model.cpp.o.d"
+  "/root/repo/src/model/params.cpp" "src/CMakeFiles/extrap.dir/model/params.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/model/params.cpp.o.d"
+  "/root/repo/src/model/params_io.cpp" "src/CMakeFiles/extrap.dir/model/params_io.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/model/params_io.cpp.o.d"
+  "/root/repo/src/model/processor_model.cpp" "src/CMakeFiles/extrap.dir/model/processor_model.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/model/processor_model.cpp.o.d"
+  "/root/repo/src/model/remote_model.cpp" "src/CMakeFiles/extrap.dir/model/remote_model.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/model/remote_model.cpp.o.d"
+  "/root/repo/src/net/contention.cpp" "src/CMakeFiles/extrap.dir/net/contention.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/net/contention.cpp.o.d"
+  "/root/repo/src/net/message_cost.cpp" "src/CMakeFiles/extrap.dir/net/message_cost.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/net/message_cost.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/extrap.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/extrap.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/net/topology.cpp.o.d"
+  "/root/repo/src/rt/distribution.cpp" "src/CMakeFiles/extrap.dir/rt/distribution.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/rt/distribution.cpp.o.d"
+  "/root/repo/src/rt/machine.cpp" "src/CMakeFiles/extrap.dir/rt/machine.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/rt/machine.cpp.o.d"
+  "/root/repo/src/rt/runtime.cpp" "src/CMakeFiles/extrap.dir/rt/runtime.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/rt/runtime.cpp.o.d"
+  "/root/repo/src/rt/tracer.cpp" "src/CMakeFiles/extrap.dir/rt/tracer.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/rt/tracer.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/extrap.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/suite/cyclic.cpp" "src/CMakeFiles/extrap.dir/suite/cyclic.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/cyclic.cpp.o.d"
+  "/root/repo/src/suite/embar.cpp" "src/CMakeFiles/extrap.dir/suite/embar.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/embar.cpp.o.d"
+  "/root/repo/src/suite/grid.cpp" "src/CMakeFiles/extrap.dir/suite/grid.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/grid.cpp.o.d"
+  "/root/repo/src/suite/matmul.cpp" "src/CMakeFiles/extrap.dir/suite/matmul.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/matmul.cpp.o.d"
+  "/root/repo/src/suite/mgrid.cpp" "src/CMakeFiles/extrap.dir/suite/mgrid.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/mgrid.cpp.o.d"
+  "/root/repo/src/suite/poisson.cpp" "src/CMakeFiles/extrap.dir/suite/poisson.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/poisson.cpp.o.d"
+  "/root/repo/src/suite/sort.cpp" "src/CMakeFiles/extrap.dir/suite/sort.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/sort.cpp.o.d"
+  "/root/repo/src/suite/sparse.cpp" "src/CMakeFiles/extrap.dir/suite/sparse.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/sparse.cpp.o.d"
+  "/root/repo/src/suite/suite.cpp" "src/CMakeFiles/extrap.dir/suite/suite.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/suite/suite.cpp.o.d"
+  "/root/repo/src/trace/event.cpp" "src/CMakeFiles/extrap.dir/trace/event.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/trace/event.cpp.o.d"
+  "/root/repo/src/trace/summary.cpp" "src/CMakeFiles/extrap.dir/trace/summary.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/trace/summary.cpp.o.d"
+  "/root/repo/src/trace/trace.cpp" "src/CMakeFiles/extrap.dir/trace/trace.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/trace/trace.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/extrap.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/transform.cpp" "src/CMakeFiles/extrap.dir/trace/transform.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/trace/transform.cpp.o.d"
+  "/root/repo/src/util/args.cpp" "src/CMakeFiles/extrap.dir/util/args.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/util/args.cpp.o.d"
+  "/root/repo/src/util/chart.cpp" "src/CMakeFiles/extrap.dir/util/chart.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/util/chart.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/extrap.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/extrap.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/extrap.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/extrap.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extrapolator_test.dir/extrapolator_test.cpp.o"
+  "CMakeFiles/extrapolator_test.dir/extrapolator_test.cpp.o.d"
+  "extrapolator_test"
+  "extrapolator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extrapolator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpf_test.dir/hpf_test.cpp.o"
+  "CMakeFiles/hpf_test.dir/hpf_test.cpp.o.d"
+  "hpf_test"
+  "hpf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/invoke_test.dir/invoke_test.cpp.o"
+  "CMakeFiles/invoke_test.dir/invoke_test.cpp.o.d"
+  "invoke_test"
+  "invoke_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/invoke_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

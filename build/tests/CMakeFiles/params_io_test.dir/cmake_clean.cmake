@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/params_io_test.dir/params_io_test.cpp.o"
+  "CMakeFiles/params_io_test.dir/params_io_test.cpp.o.d"
+  "params_io_test"
+  "params_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/params_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
