@@ -1,0 +1,114 @@
+// abl_sweep_scaling — wall-clock scaling of the parallel sweep engine.
+//
+// The claim under test (core/sweep.hpp): once the per-thread-count traces
+// are measured and translated, the simulations of a what-if grid are
+// independent and fan out across a thread pool with near-linear speedup.
+// This harness times the SAME 16-point grid (4 machine parameter sets x
+// 4 processor counts) through SweepRunner at increasing worker counts,
+// from identical pre-seeded caches, and reports wall-clock speedup over
+// the 1-worker (sequential) run — plus a bitwise check that every worker
+// count produced the identical predictions.
+#include <chrono>
+#include <iostream>
+
+#include "core/sweep.hpp"
+#include "common.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace xp;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string fingerprint(const core::SweepResult& r) {
+  std::string s;
+  for (const auto& p : r.predictions) {
+    s += std::to_string(p.predicted_time.count_ns());
+    s += ':';
+    s += std::to_string(p.sim.engine_events);
+    s += ';';
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== sweep scaling: parallel vs sequential what-if grids ===\n";
+  const std::string bench = "grid";
+  const std::vector<int> procs = {4, 8, 16, 32};
+  const std::vector<model::SimParams> machines = {
+      model::distributed_preset(), model::cm5_preset(),
+      model::paragon_preset(), model::sp1_preset()};
+  const std::vector<std::string> labels = {"distributed", "cm5", "paragon",
+                                           "sp1"};
+
+  // Measure once, up front, so every timed run starts from the same warm
+  // cache and the timings isolate the simulation fan-out.
+  auto t0 = std::chrono::steady_clock::now();
+  std::map<int, trace::Trace> traces;
+  for (int n : procs) {
+    auto prog = suite::make_by_name(bench);
+    rt::MeasureOptions mo;
+    mo.n_threads = n;
+    traces.emplace(n, rt::measure(*prog, mo));
+  }
+  const double measure_s = seconds_since(t0);
+  std::cout << "measured " << traces.size() << " traces of '" << bench
+            << "' in " << std::fixed;
+  std::cout.precision(2);
+  std::cout << measure_s << " s (done once, shared by every run)\n\n";
+
+  const int hw = util::ThreadPool::default_workers();
+  std::vector<int> worker_counts = {1, 2, 4};
+  if (hw > 4) worker_counts.push_back(hw);
+
+  const int reps = 3;  // best-of to shave scheduler noise
+  std::map<int, double> best_s;
+  double seq_best = 0.0;
+  std::string seq_fp;
+  bool all_match = true;
+  std::cout << "  workers      best of " << reps << "      speedup   grid\n";
+  for (int workers : worker_counts) {
+    double best = 1e30;
+    std::string fp;
+    for (int r = 0; r < reps; ++r) {
+      core::SweepOptions opt;
+      opt.n_workers = workers;
+      core::SweepRunner runner(opt);
+      for (const auto& [n, t] : traces) runner.seed_trace(t);
+      t0 = std::chrono::steady_clock::now();
+      const core::SweepResult result = runner.run_grid(procs, machines, labels);
+      const double s = seconds_since(t0);
+      if (s < best) best = s;
+      fp = fingerprint(result);
+    }
+    best_s[workers] = best;
+    if (workers == 1) {
+      seq_best = best;
+      seq_fp = fp;
+    }
+    if (fp != seq_fp) all_match = false;
+    std::printf("  %7d   %9.3f s   %8.2fx   %zu points%s\n", workers, best,
+                seq_best / best, procs.size() * machines.size(),
+                fp == seq_fp ? "" : "   !! PREDICTIONS DIFFER");
+  }
+
+  std::cout << '\n';
+  if (hw >= 2) {
+    bench::shape_check("4 workers give >= 2x wall-clock speedup on the "
+                       "16-point grid",
+                       seq_best / best_s.at(4) >= 2.0);
+  } else {
+    std::cout << "  [n/a ] this host exposes 1 CPU; parallel speedup is "
+                 "bounded at 1.0x (run on >= 2 cores for the >= 2x check)\n";
+  }
+  bench::shape_check("every worker count produced bitwise-identical "
+                     "predictions",
+                     all_match);
+  return 0;
+}

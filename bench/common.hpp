@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/extrapolator.hpp"
+#include "core/sweep.hpp"
 #include "machine/machine_sim.hpp"
 #include "metrics/metrics.hpp"
 #include "metrics/report.hpp"
@@ -50,9 +51,16 @@ class TraceCache {
     return cache_.emplace(key, rt::measure(*prog, mo)).first->second;
   }
 
+  /// Extrapolate via the shared translate cache: measurement AND
+  /// translation happen once per (bench, n); only the simulation reruns
+  /// per parameter set.
   Prediction predict(const std::string& bench, int n,
                      const model::SimParams& params) {
-    return Extrapolator(params).extrapolate_trace(get(bench, n));
+    core::TranslateKey key;
+    key.n_threads = n;
+    const auto prepared = translated_[bench].get_or_prepare(
+        key, [&](int nn) { return get(bench, nn); });
+    return core::predict(*prepared, params);
   }
 
   const suite::SuiteConfig& config() const { return cfg_; }
@@ -60,6 +68,7 @@ class TraceCache {
  private:
   suite::SuiteConfig cfg_;
   std::map<std::string, trace::Trace> cache_;
+  std::map<std::string, core::TranslateCache> translated_;
 };
 
 /// Predicted execution times across the paper's processor counts.

@@ -9,9 +9,12 @@
 // culprit turns out to be a measurement abstraction: the compiler-declared
 // element size (231456 bytes) charged for remote transfers that actually
 // move 2..512 bytes.
+//
+// The whole investigation is now ONE SweepRunner batch: five hypotheses x
+// two thread counts, measured twice (n=1, n=n), simulated in parallel.
 #include <iostream>
 
-#include "core/extrapolator.hpp"
+#include "core/sweep.hpp"
 #include "metrics/report.hpp"
 #include "suite/suite.hpp"
 #include "util/args.hpp"
@@ -25,49 +28,59 @@ void step(int k, const std::string& what) {
   std::cout << "\n--- step " << k << ": " << what << "\n";
 }
 
-double speedup_of(const trace::Trace& t1, const trace::Trace& tn,
-                  const model::SimParams& params) {
-  core::Extrapolator x(params);
-  return x.extrapolate_trace(t1).predicted_time /
-         x.extrapolate_trace(tn).predicted_time;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   util::ArgParser args("grid_whatif",
                        "replay the paper's Grid performance investigation");
   args.add_option("threads", "8", "parallel thread count to study");
+  args.add_option("workers", "0", "sweep workers (0 = hardware concurrency)");
   try {
     if (!args.parse(argc, argv)) return 0;
     const int n = static_cast<int>(args.get_int("threads"));
 
-    std::cout << "Measuring Grid once on the 1-processor environment...\n";
-    rt::MeasureOptions mo1, mon;
-    mo1.n_threads = 1;
-    mon.n_threads = n;
-    auto p1 = suite::make_grid();
-    const trace::Trace t1 = rt::measure(*p1, mo1);
-    auto pn = suite::make_grid();
-    const trace::Trace tn = rt::measure(*pn, mon);
-    std::cout << "measured (1 thread): " << t1.end_time().str() << ", ("
-              << n << " threads): " << tn.end_time().str() << '\n';
+    // The five hypotheses of §4.1, as one labeled parameter grid.
+    const auto base = model::distributed_preset();
+    auto hibw = base;
+    hibw.comm.byte_transfer = util::Time::us(0.005);
+    auto actual = base;
+    actual.size_mode = model::TransferSizeMode::Actual;
+    auto tuned = actual;
+    tuned.comm.comm_startup = util::Time::us(10);
+    tuned.comm.msg_build = util::Time::us(1);
+    const std::vector<model::SimParams> machines = {
+        base, hibw, model::ideal_preset(), actual, tuned};
+    const std::vector<std::string> labels = {"base", "hibw", "ideal", "actual",
+                                             "tuned"};
+
+    core::SweepOptions opt;
+    opt.n_workers = static_cast<int>(args.get_int("workers"));
+    core::SweepRunner runner([] { return suite::make_grid(); }, opt);
+
+    std::cout << "Sweeping " << machines.size() << " parameter sets x {1, "
+              << n << "} threads in one batch...\n";
+    const core::SweepResult sweep = runner.run_grid({1, n}, machines, labels);
+    std::cout << "measured " << sweep.cache_misses << " traces, reused them "
+              << sweep.cache_hits << " times\n";
+
+    // predictions are machine-major: [m * 2] is n=1, [m * 2 + 1] is n=n.
+    const auto speedup_of = [&](std::size_t m) {
+      return sweep.predictions[m * 2].predicted_time /
+             sweep.predictions[m * 2 + 1].predicted_time;
+    };
 
     step(1, "extrapolate with the distributed-memory set (20 MB/s)");
-    auto base = model::distributed_preset();
     std::cout << "speedup at " << n << " processors: "
-              << util::Table::fixed(speedup_of(t1, tn, base), 2)
+              << util::Table::fixed(speedup_of(0), 2)
               << "  — levels off, as in Figure 4. Why?\n";
 
     step(2, "hypothesis: link bandwidth. Raise 20 -> 200 MB/s");
-    auto hibw = base;
-    hibw.comm.byte_transfer = util::Time::us(0.005);
-    std::cout << "speedup: " << util::Table::fixed(speedup_of(t1, tn, hibw), 2)
+    std::cout << "speedup: " << util::Table::fixed(speedup_of(1), 2)
               << "  — better, but still well below the shared-memory "
                  "experience.\n";
 
     step(3, "hypothesis: synchronization. Check the trace statistics");
-    const trace::Summary s = trace::summarize(tn);
+    const trace::Summary& s = sweep.predictions[1].measured_summary;
     std::cout << "barriers: " << s.barriers
               << " (too few to matter)  remote reads: " << s.remote_reads
               << "\ndeclared transfer volume: " << s.declared_bytes / 1024
@@ -75,24 +88,15 @@ int main(int argc, char** argv) {
               << " KB   <-- the smoking gun\n";
 
     step(4, "extrapolate to an ideal (zero-cost) environment as a bound");
-    std::cout << "speedup: "
-              << util::Table::fixed(speedup_of(t1, tn, model::ideal_preset()), 2)
-              << '\n';
+    std::cout << "speedup: " << util::Table::fixed(speedup_of(2), 2) << '\n';
 
     step(5, "fix the measurement abstraction: use ACTUAL transfer sizes");
-    auto actual = base;
-    actual.size_mode = model::TransferSizeMode::Actual;
-    std::cout << "speedup: "
-              << util::Table::fixed(speedup_of(t1, tn, actual), 2)
+    std::cout << "speedup: " << util::Table::fixed(speedup_of(3), 2)
               << "  — comparable to the high-bandwidth test, at the "
                  "original 20 MB/s!\n";
 
     step(6, "now also reduce the high communication start-up");
-    auto tuned = actual;
-    tuned.comm.comm_startup = util::Time::us(10);
-    tuned.comm.msg_build = util::Time::us(1);
-    std::cout << "speedup: "
-              << util::Table::fixed(speedup_of(t1, tn, tuned), 2) << '\n';
+    std::cout << "speedup: " << util::Table::fixed(speedup_of(4), 2) << '\n';
 
     std::cout << "\nAll six experiments reused the same two measurements — "
                  "the whole investigation ran without any parallel "

@@ -3,17 +3,17 @@
 // The paper's motivation: pC++ programs are portable, and performance
 // debugging on every candidate platform is impractical.  Extrapolation
 // answers "which machine suits this program?" from a single workstation
-// measurement per thread count: here the same traces are simulated against
-// several target environments (the Table 3 CM-5, plus historically
+// measurement per thread count: one SweepRunner batch simulates the whole
+// machines x processor-counts grid (the Table 3 CM-5, plus historically
 // plausible Paragon / SP-1 / bus-shared-memory approximations — see
-// EXPERIMENTS.md) and the predicted times are compared directly.
+// EXPERIMENTS.md), measuring each thread count exactly once.
 //
 // Note the absolute times embed each target's processor speed (MipsRatio),
 // so this compares machines, not just networks.
 #include <iostream>
 
-#include "core/extrapolator.hpp"
-#include "metrics/report.hpp"
+#include "core/sweep.hpp"
+#include "metrics/sweep_report.hpp"
 #include "model/params_io.hpp"
 #include "suite/suite.hpp"
 #include "util/args.hpp"
@@ -28,54 +28,43 @@ int main(int argc, char** argv) {
   args.add_option("procs", "4,8,16,32", "processor counts");
   args.add_option("machines", "cm5,paragon,sp1,sgi",
                   "comma-separated preset names");
+  args.add_option("workers", "0", "sweep workers (0 = hardware concurrency)");
   try {
     if (!args.parse(argc, argv)) return 0;
     std::vector<int> procs;
     for (const auto& s : util::split(args.get("procs"), ','))
       procs.push_back(std::stoi(s));
-    const auto machines = util::split(args.get("machines"), ',');
+    const auto machine_names = util::split(args.get("machines"), ',');
+    std::vector<model::SimParams> machines;
+    for (const auto& m : machine_names)
+      machines.push_back(model::preset_by_name(m));
 
-    // One measurement per processor count, shared by all machines.
-    std::map<int, trace::Trace> traces;
+    core::SweepOptions opt;
+    opt.n_workers = static_cast<int>(args.get_int("workers"));
+    const std::string bench = args.get("bench");
+    core::SweepRunner runner([&bench] { return suite::make_by_name(bench); },
+                             opt);
+    const core::SweepResult sweep =
+        runner.run_grid(procs, machines, machine_names);
+
+    const metrics::SweepReport report = metrics::analyze_sweep(sweep);
+    std::cout << bench << " — predicted execution time by target machine\n\n"
+              << metrics::render_sweep(report);
+
     for (int n : procs) {
-      auto prog = suite::make_by_name(args.get("bench"));
-      rt::MeasureOptions mo;
-      mo.n_threads = n;
-      traces.emplace(n, rt::measure(*prog, mo));
-    }
-
-    std::vector<metrics::Curve> curves;
-    std::map<std::string, std::vector<util::Time>> times;
-    for (const auto& m : machines) {
-      core::Extrapolator x(model::preset_by_name(m));
-      metrics::Curve c;
-      c.label = m;
-      c.procs = procs;
-      for (int n : procs) {
-        const auto t = x.extrapolate_trace(traces.at(n)).predicted_time;
-        times[m].push_back(t);
-        c.values.push_back(t.to_ms());
-      }
-      curves.push_back(std::move(c));
-    }
-
-    std::cout << args.get("bench")
-              << " — predicted execution time by target machine\n\n"
-              << metrics::render_curves("machine comparison", curves,
-                                        "time [ms]", true, true);
-
-    for (int i = 0; i < static_cast<int>(procs.size()); ++i) {
       std::string best;
       util::Time best_t = util::Time::max();
-      for (const auto& m : machines) {
-        const util::Time t = times[m][static_cast<std::size_t>(i)];
-        if (t < best_t) {
-          best_t = t;
-          best = m;
+      for (const auto& s : report.series) {
+        for (std::size_t j = 0; j < s.procs.size(); ++j) {
+          if (s.procs[j] != n) continue;
+          if (s.times[j] < best_t) {
+            best_t = s.times[j];
+            best = s.label;
+          }
         }
       }
-      std::cout << "best at " << procs[static_cast<std::size_t>(i)]
-                << " procs: " << best << " (" << best_t.str() << ")\n";
+      std::cout << "best at " << n << " procs: " << best << " ("
+                << best_t.str() << ")\n";
     }
     std::cout << "\n(every row reuses the same per-n measurement; only the "
                  "simulation parameters change)\n";

@@ -1,17 +1,17 @@
 // scalability_report — "is it worth buying a bigger machine?"
 //
 // Sweeps processor counts for any suite benchmark entirely by
-// extrapolation, then analyzes the predicted curve: speedups, efficiency,
-// Karp–Flatt experimentally determined serial fraction (growing = the
-// overhead is communication/synchronization, not serial code), an Amdahl
-// fit, and projected speedups for machine sizes never simulated.  Also
-// prints the per-phase profile at the largest count to show WHERE the
-// time goes.
+// extrapolation (one SweepRunner batch; simulations run in parallel), then
+// analyzes the predicted curve: speedups, efficiency, Karp–Flatt
+// experimentally determined serial fraction (growing = the overhead is
+// communication/synchronization, not serial code), an Amdahl fit, and
+// projected speedups for machine sizes never simulated.  Also prints the
+// per-phase profile at the largest count to show WHERE the time goes.
 #include <iostream>
 
-#include "core/extrapolator.hpp"
+#include "core/sweep.hpp"
 #include "metrics/phases.hpp"
-#include "metrics/scalability.hpp"
+#include "metrics/sweep_report.hpp"
 #include "suite/suite.hpp"
 #include "util/args.hpp"
 #include "util/error.hpp"
@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
   args.add_option("bench", "poisson", "benchmark (Table 2 name)");
   args.add_option("procs", "1,2,4,8,16,32", "processor counts (start at 1)");
   args.add_option("preset", "distributed", "distributed|shared|ideal|cm5");
+  args.add_option("workers", "0", "sweep workers (0 = hardware concurrency)");
   args.add_flag("phases", "also print the per-phase profile at max procs");
   try {
     if (!args.parse(argc, argv)) return 0;
@@ -44,21 +45,26 @@ int main(int argc, char** argv) {
     for (const auto& s : util::split(args.get("procs"), ','))
       procs.push_back(std::stoi(s));
 
-    core::Extrapolator x(params);
-    std::vector<util::Time> times;
-    core::Prediction last;
-    for (int n : procs) {
-      auto prog = suite::make_by_name(args.get("bench"));
-      last = x.extrapolate(*prog, n);
-      times.push_back(last.predicted_time);
-      std::cout << "  n=" << n << ": " << last.predicted_time.str() << '\n';
-    }
+    core::SweepOptions opt;
+    opt.n_workers = static_cast<int>(args.get_int("workers"));
+    const std::string bench = args.get("bench");
+    core::SweepRunner runner([&bench] { return suite::make_by_name(bench); },
+                             opt);
+    const core::SweepResult sweep = runner.run_grid(procs, {params}, {preset});
+    for (std::size_t i = 0; i < procs.size(); ++i)
+      std::cout << "  n=" << procs[i] << ": "
+                << sweep.predictions[i].predicted_time.str() << '\n';
 
-    std::cout << "\n"
-              << metrics::render_scalability(
-                     metrics::analyze_scalability(procs, times));
+    const metrics::SweepReport report = metrics::analyze_sweep(sweep);
+    const metrics::SweepSeries& series = report.series.front();
+    if (series.has_scalability)
+      std::cout << "\n" << metrics::render_scalability(series.scalability);
+    else
+      std::cout << "\n(no scalability analysis: sweep must start at 1 "
+                   "processor with >= 2 points)\n";
 
     if (args.has("phases")) {
+      const core::Prediction& last = sweep.predictions.back();
       std::cout << "\nper-phase profile at n=" << procs.back() << ":\n"
                 << metrics::render_phase_table(
                        metrics::profile_phases(last.sim.extrapolated));

@@ -2,6 +2,28 @@
 
 namespace xp::core {
 
+TranslatedTrace prepare_trace(const trace::Trace& measured,
+                              const TranslateOptions& topt) {
+  TranslatedTrace tt;
+  tt.n_threads = measured.n_threads();
+  tt.measured_time = measured.end_time();
+  tt.measured_summary = trace::summarize(measured);
+  tt.translated = translate(measured, topt);
+  tt.ideal_time = ideal_parallel_time(tt.translated);
+  return tt;
+}
+
+Prediction predict(const TranslatedTrace& prepared, const SimParams& params) {
+  Prediction p;
+  p.n_threads = prepared.n_threads;
+  p.measured_time = prepared.measured_time;
+  p.measured_summary = prepared.measured_summary;
+  p.ideal_time = prepared.ideal_time;
+  p.sim = simulate(prepared.translated, params);
+  p.predicted_time = p.sim.makespan;
+  return p;
+}
+
 Prediction Extrapolator::extrapolate(rt::Program& prog, int n_threads,
                                      const rt::HostMachine& host) const {
   rt::MeasureOptions mo;
@@ -13,15 +35,7 @@ Prediction Extrapolator::extrapolate(rt::Program& prog, int n_threads,
 
 Prediction Extrapolator::extrapolate_trace(const trace::Trace& measured,
                                            const TranslateOptions& topt) const {
-  Prediction p;
-  p.n_threads = measured.n_threads();
-  p.measured_time = measured.end_time();
-  p.measured_summary = trace::summarize(measured);
-  const std::vector<trace::Trace> translated = translate(measured, topt);
-  p.ideal_time = ideal_parallel_time(translated);
-  p.sim = simulate(translated, params_);
-  p.predicted_time = p.sim.makespan;
-  return p;
+  return predict(prepare_trace(measured, topt), params_);
 }
 
 }  // namespace xp::core

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/simulator.hpp"
 #include "core/translate.hpp"
@@ -24,6 +25,28 @@ struct Prediction {
   SimResult sim;           ///< full simulation result
   trace::Summary measured_summary;  ///< trace statistics of the measurement
 };
+
+/// A measurement carried through the translation stage: everything the
+/// simulator needs, with the (expensive, parameter-independent) measure +
+/// translate work done once.  Immutable after construction, so many
+/// simulations — including concurrent ones from a sweep — can share one
+/// instance (see core/sweep.hpp).
+struct TranslatedTrace {
+  int n_threads = 0;
+  Time measured_time;               ///< measured run's end time
+  Time ideal_time;                  ///< zero-cost n-processor makespan
+  trace::Summary measured_summary;  ///< statistics of the measured trace
+  std::vector<trace::Trace> translated;  ///< one idealized trace per thread
+};
+
+/// Run the measurement-side half of the pipeline (validate + translate).
+TranslatedTrace prepare_trace(const trace::Trace& measured,
+                              const TranslateOptions& topt = {});
+
+/// Run the simulation-side half: replay a prepared trace against one
+/// parameter set.  Pure — identical inputs give bitwise-identical
+/// Predictions, the property the sweep differential tests pin down.
+Prediction predict(const TranslatedTrace& prepared, const SimParams& params);
 
 class Extrapolator {
  public:

@@ -1,0 +1,199 @@
+#include "core/sweep.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/once_cell.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xp::core {
+
+std::size_t TranslateKeyHash::operator()(const TranslateKey& k) const {
+  // FNV-1a over the key fields; collisions only cost a bucket walk.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(static_cast<std::uint64_t>(k.n_threads));
+  mix(k.topt.remove_event_overhead ? 1 : 0);
+  mix(static_cast<std::uint64_t>(k.topt.event_overhead_override.count_ns()));
+  return static_cast<std::size_t>(h);
+}
+
+struct TranslateCache::Entry {
+  util::OnceCell<std::shared_ptr<const TranslatedTrace>> cell;
+};
+
+std::shared_ptr<TranslateCache::Entry> TranslateCache::entry_for(
+    const TranslateKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = map_[key];
+  if (!slot) slot = std::make_shared<Entry>();
+  return slot;
+}
+
+std::shared_ptr<const TranslatedTrace> TranslateCache::get_or_prepare(
+    const TranslateKey& key, const Measure& measure) {
+  XP_REQUIRE(key.n_threads >= 1, "translate-cache key needs n_threads >= 1");
+  const auto entry = entry_for(key);
+  bool computed = false;
+  const auto& value = entry->cell.get_or_init([&] {
+    computed = true;
+    const trace::Trace measured = measure(key.n_threads);
+    XP_REQUIRE(measured.n_threads() == key.n_threads,
+               "measured trace thread count does not match the cache key");
+    return std::make_shared<const TranslatedTrace>(
+        prepare_trace(measured, key.topt));
+  });
+  if (computed)
+    misses_.fetch_add(1);
+  else
+    hits_.fetch_add(1);
+  return value;
+}
+
+void TranslateCache::put(const trace::Trace& measured,
+                         const TranslateOptions& topt) {
+  TranslateKey key;
+  key.n_threads = measured.n_threads();
+  key.topt = topt;
+  XP_REQUIRE(key.n_threads >= 1, "seed trace needs n_threads >= 1");
+  const auto entry = entry_for(key);
+  entry->cell.get_or_init([&] {
+    return std::make_shared<const TranslatedTrace>(
+        prepare_trace(measured, topt));
+  });
+}
+
+std::shared_ptr<const TranslatedTrace> TranslateCache::get(
+    const TranslateKey& key) const {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return nullptr;
+    entry = it->second;
+  }
+  const auto* v = entry->cell.peek();
+  return v ? *v : nullptr;
+}
+
+std::size_t TranslateCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+SweepRunner::SweepRunner(ProgramFactory factory, SweepOptions opt)
+    : factory_(std::move(factory)),
+      opt_(std::move(opt)),
+      cache_(std::make_shared<TranslateCache>()) {}
+
+SweepRunner::SweepRunner(SweepOptions opt)
+    : SweepRunner(ProgramFactory{}, std::move(opt)) {}
+
+void SweepRunner::seed_trace(const trace::Trace& measured) {
+  cache_->put(measured, opt_.translate);
+}
+
+SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
+  SweepResult out;
+  out.grid = grid;
+  out.predictions.resize(grid.size());
+  if (grid.empty()) return out;
+
+  for (const SweepPoint& p : grid) {
+    XP_REQUIRE(p.n_threads >= 1, "sweep point needs n_threads >= 1");
+    p.params.validate(p.n_threads);
+  }
+
+  const std::uint64_t hits0 = cache_->hits();
+  const std::uint64_t misses0 = cache_->misses();
+
+  // Resolve every distinct thread count up front, in first-appearance
+  // order.  Measurement replays the whole program under the fiber package,
+  // so it stays on this thread; only the per-point simulations fan out.
+  std::vector<std::shared_ptr<const TranslatedTrace>> prepared(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    TranslateKey key;
+    key.n_threads = grid[i].n_threads;
+    key.topt = opt_.translate;
+    prepared[i] = cache_->get_or_prepare(key, [this](int n) {
+      XP_REQUIRE(factory_ != nullptr,
+                 "sweep needs a ProgramFactory or a seed_trace() covering "
+                 "n_threads=" +
+                     std::to_string(n));
+      auto prog = factory_();
+      XP_REQUIRE(prog != nullptr, "ProgramFactory returned null");
+      rt::MeasureOptions mo;
+      mo.n_threads = n;
+      mo.host = opt_.host;
+      return rt::measure(*prog, mo);
+    });
+  }
+
+  std::vector<std::size_t> order = opt_.submit_order;
+  if (order.empty()) {
+    order.resize(grid.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  } else {
+    XP_REQUIRE(order.size() == grid.size(),
+               "submit_order size does not match the grid");
+    std::vector<bool> seen(grid.size(), false);
+    for (std::size_t i : order) {
+      XP_REQUIRE(i < grid.size() && !seen[i],
+                 "submit_order is not a permutation of the grid indices");
+      seen[i] = true;
+    }
+  }
+
+  const int n_workers =
+      opt_.n_workers > 0 ? opt_.n_workers : util::ThreadPool::default_workers();
+
+  // Fan the simulations out.  Each task writes only its own grid slot, so
+  // completion order is irrelevant to the result; the first exception is
+  // kept and rethrown once the batch has drained.
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  {
+    util::ThreadPool pool(n_workers);
+    for (std::size_t i : order) {
+      pool.submit([&, i] {
+        try {
+          out.predictions[i] = predict(*prepared[i], grid[i].params);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      });
+    }
+    pool.wait();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  out.cache_hits = cache_->hits() - hits0;
+  out.cache_misses = cache_->misses() - misses0;
+  return out;
+}
+
+SweepResult SweepRunner::run_grid(const std::vector<int>& procs,
+                                  const std::vector<model::SimParams>& machines,
+                                  const std::vector<std::string>& labels) {
+  XP_REQUIRE(labels.empty() || labels.size() == machines.size(),
+             "run_grid: one label per machine (or none)");
+  std::vector<SweepPoint> grid;
+  grid.reserve(procs.size() * machines.size());
+  for (std::size_t m = 0; m < machines.size(); ++m) {
+    for (int n : procs) {
+      SweepPoint p;
+      p.n_threads = n;
+      p.params = machines[m];
+      p.label = labels.empty() ? "set" + std::to_string(m) : labels[m];
+      grid.push_back(std::move(p));
+    }
+  }
+  return run(grid);
+}
+
+}  // namespace xp::core

@@ -4,7 +4,7 @@
 
 namespace xp::fiber {
 
-Scheduler* Scheduler::launching_ = nullptr;
+thread_local Scheduler* Scheduler::launching_ = nullptr;
 
 Scheduler::Scheduler() = default;
 

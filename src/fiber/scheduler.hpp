@@ -67,9 +67,11 @@ class Scheduler {
   std::function<bool()> idle_hook_;
 
   // makecontext cannot pass pointers portably; the scheduler notes itself
-  // here just before switching into a fresh fiber.  Single-threaded use
-  // only (the whole point of the package is to avoid OS threads).
-  static Scheduler* launching_;
+  // here just before switching into a fresh fiber.  thread_local so that
+  // independent Scheduler instances may run on different OS threads (one
+  // measurement per worker in a sweep); a single instance is still strictly
+  // single-threaded — all of its fibers run on the thread that calls run().
+  static thread_local Scheduler* launching_;
 };
 
 }  // namespace xp::fiber

@@ -1,0 +1,66 @@
+// A thread-safe write-once cell.
+//
+// get_or_init(make) returns the stored value, invoking `make` exactly once
+// across all threads; concurrent callers block until the value is ready.
+// After initialization the value is immutable, so readers share it without
+// further synchronization — the property the sweep engine's TranslateCache
+// relies on ("shared, immutable after insert").
+//
+// If `make` throws, the cell returns to the empty state, the exception
+// propagates to that caller, and one of the waiters retries.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace xp::util {
+
+template <typename T>
+class OnceCell {
+ public:
+  OnceCell() = default;
+  OnceCell(const OnceCell&) = delete;
+  OnceCell& operator=(const OnceCell&) = delete;
+
+  /// The stored value, computing it with `make` if this is the first call.
+  template <typename F>
+  const T& get_or_init(F&& make) {
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      if (value_) return *value_;
+      if (!computing_) break;
+      ready_.wait(lock);
+    }
+    computing_ = true;
+    lock.unlock();
+    try {
+      T v = make();
+      lock.lock();
+      value_.emplace(std::move(v));
+    } catch (...) {
+      lock.lock();
+      computing_ = false;
+      ready_.notify_one();  // let one waiter retry
+      throw;
+    }
+    computing_ = false;
+    ready_.notify_all();
+    return *value_;
+  }
+
+  /// Non-blocking peek; nullptr while empty or still computing.
+  const T* peek() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_ ? &*value_ : nullptr;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  bool computing_ = false;
+  std::optional<T> value_;
+};
+
+}  // namespace xp::util

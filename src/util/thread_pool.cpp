@@ -1,0 +1,62 @@
+#include "util/thread_pool.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::util {
+
+ThreadPool::ThreadPool(int n_workers) {
+  XP_REQUIRE(n_workers >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(n_workers));
+  for (int i = 0; i < n_workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    XP_REQUIRE(!stopping_, "submit() on a stopping thread pool");
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int ThreadPool::default_workers() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace xp::util

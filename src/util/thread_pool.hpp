@@ -1,0 +1,58 @@
+// Fixed-size worker pool for embarrassingly parallel batches.
+//
+// The sweep engine (core/sweep.hpp) fans independent simulations out over
+// this pool.  Tasks are plain std::function<void()>; callers own their
+// result slots (the pool imposes no ordering on completion, so writers that
+// need deterministic output must write by index, not by completion order).
+// wait() blocks until every task submitted so far has finished, so one pool
+// can serve several batches back to back.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xp::util {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawn `n_workers` threads (>= 1; throws util::Error otherwise).
+  explicit ThreadPool(int n_workers);
+
+  /// Joins all workers; pending tasks are still executed first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task.  Tasks must not throw — wrap fallible work and stash
+  /// the exception yourself (see core::SweepRunner for the pattern).
+  void submit(Task task);
+
+  /// Block until every task submitted so far has completed.
+  void wait();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// hardware_concurrency with a floor of 1 (the standard allows 0).
+  static int default_workers();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<Task> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace xp::util

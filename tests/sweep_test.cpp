@@ -1,0 +1,296 @@
+// Differential + determinism coverage for the parallel sweep engine.
+//
+// The contract under test (core/sweep.hpp): a SweepRunner prediction is
+// bitwise-identical to a sequential Extrapolator::extrapolate_trace over
+// the same measured trace — for every grid point, at any pool size, under
+// any task submission order, on repeated runs.  "Bitwise" is checked the
+// strong way: every numeric field of the Prediction plus the full
+// serialized extrapolated event stream.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "core/extrapolator.hpp"
+#include "core/sweep.hpp"
+#include "rt/collection.hpp"
+#include "suite/suite.hpp"
+#include "trace/trace_io.hpp"
+#include "util/error.hpp"
+#include "util/once_cell.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xp::core {
+namespace {
+
+// A small but non-trivial program: computation, neighbor remote reads, and
+// barriers, so every simulator subsystem participates.
+class SweepProgram : public rt::Program {
+ public:
+  std::string name() const override { return "sweep_prog"; }
+  void setup(rt::Runtime& rt) override {
+    c_ = std::make_unique<rt::Collection<double>>(
+        rt, rt::Distribution::d1(rt::Dist::Block, rt.n_threads(),
+                                 rt.n_threads()),
+        512);
+    for (int i = 0; i < rt.n_threads(); ++i) c_->init(i) = i + 1.0;
+  }
+  void thread_main(rt::Runtime& rt) override {
+    for (int k = 0; k < 3; ++k) {
+      rt.compute_flops(568.0 * (rt.thread_id() % 3 + 1));
+      if (rt.n_threads() > 1) {
+        (void)c_->get((rt.thread_id() + 1) % rt.n_threads(), 16);
+        if (k == 1) (void)c_->get((rt.thread_id() + 2) % rt.n_threads(), 64);
+      }
+      rt.barrier();
+    }
+  }
+  std::unique_ptr<rt::Collection<double>> c_;
+};
+
+std::vector<SweepPoint> test_grid() {
+  std::vector<SweepPoint> grid;
+  const std::vector<std::pair<std::string, model::SimParams>> machines = {
+      {"distributed", model::distributed_preset()},
+      {"shared", model::shared_memory_preset()},
+      {"cm5", model::cm5_preset()},
+      {"ideal", model::ideal_preset()},
+  };
+  for (const auto& [label, params] : machines) {
+    for (int n : {1, 2, 4, 8}) {
+      SweepPoint p;
+      p.n_threads = n;
+      p.params = params;
+      p.label = label;
+      grid.push_back(std::move(p));
+    }
+  }
+  return grid;
+}
+
+std::map<int, trace::Trace> measure_all(const std::vector<SweepPoint>& grid) {
+  std::map<int, trace::Trace> traces;
+  for (const auto& p : grid) {
+    if (traces.count(p.n_threads)) continue;
+    SweepProgram prog;
+    rt::MeasureOptions mo;
+    mo.n_threads = p.n_threads;
+    traces.emplace(p.n_threads, rt::measure(prog, mo));
+  }
+  return traces;
+}
+
+// Serialize a Prediction exhaustively; byte-equal strings <=> bitwise-equal
+// predictions (times are integer ns; avg_inflight is printed as hexfloat).
+std::string serialize(const Prediction& p) {
+  std::ostringstream os;
+  os << "n=" << p.n_threads << " pred=" << p.predicted_time.count_ns()
+     << " ideal=" << p.ideal_time.count_ns()
+     << " meas=" << p.measured_time.count_ns()
+     << " makespan=" << p.sim.makespan.count_ns()
+     << " msgs=" << p.sim.messages << " bytes=" << p.sim.bytes
+     << " events=" << p.sim.engine_events << " inflight=" << std::hexfloat
+     << p.sim.avg_inflight << std::defaultfloat << '\n';
+  for (const auto& t : p.sim.threads) {
+    os << "  t: " << t.compute.count_ns() << ' ' << t.comm_wait.count_ns()
+       << ' ' << t.barrier_wait.count_ns() << ' ' << t.send_overhead.count_ns()
+       << ' ' << t.service_time.count_ns() << ' ' << t.poll_time.count_ns()
+       << ' ' << t.finish.count_ns() << ' ' << t.remote_accesses << ' '
+       << t.intra_cluster_accesses << ' ' << t.requests_served << ' '
+       << t.interrupts_taken << ' ' << t.polls << '\n';
+  }
+  trace::write_text(p.sim.extrapolated, os);
+  return os.str();
+}
+
+std::string serialize(const SweepResult& r) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < r.predictions.size(); ++i)
+    os << "[" << i << " " << r.grid[i].label << "]\n"
+       << serialize(r.predictions[i]);
+  return os.str();
+}
+
+void expect_equal(const Prediction& a, const Prediction& b,
+                  const std::string& what) {
+  EXPECT_EQ(serialize(a), serialize(b)) << what;
+}
+
+TEST(SweepRunner, MatchesSequentialExtrapolationAtEveryPoolSize) {
+  const auto grid = test_grid();
+  const auto traces = measure_all(grid);
+
+  // Sequential reference: one Extrapolator per point over the same traces.
+  std::vector<Prediction> reference;
+  for (const auto& p : grid)
+    reference.push_back(
+        Extrapolator(p.params).extrapolate_trace(traces.at(p.n_threads)));
+
+  const int hw = util::ThreadPool::default_workers();
+  for (int workers : {1, 4, hw}) {
+    SweepOptions opt;
+    opt.n_workers = workers;
+    SweepRunner runner(opt);
+    for (const auto& [n, t] : traces) runner.seed_trace(t);
+    const SweepResult result = runner.run(grid);
+    ASSERT_EQ(result.predictions.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i)
+      expect_equal(result.predictions[i], reference[i],
+                   "workers=" + std::to_string(workers) + " point=" +
+                       std::to_string(i) + " (" + grid[i].label + ", n=" +
+                       std::to_string(grid[i].n_threads) + ")");
+    EXPECT_EQ(result.cache_hits + result.cache_misses, grid.size());
+  }
+}
+
+TEST(SweepRunner, FactoryPathMatchesSeededPath) {
+  const auto grid = test_grid();
+  const auto traces = measure_all(grid);
+
+  SweepOptions opt;
+  opt.n_workers = 4;
+  SweepRunner measured([] { return std::make_unique<SweepProgram>(); }, opt);
+  const SweepResult from_factory = measured.run(grid);
+  // Four distinct thread counts -> four measurements, the rest cache hits.
+  EXPECT_EQ(from_factory.cache_misses, 4u);
+  EXPECT_EQ(from_factory.cache_hits, grid.size() - 4);
+
+  SweepRunner seeded(opt);
+  for (const auto& [n, t] : traces) seeded.seed_trace(t);
+  const SweepResult from_seed = seeded.run(grid);
+  EXPECT_EQ(serialize(from_factory), serialize(from_seed));
+}
+
+TEST(SweepRunner, DeterministicAcrossRunsAndSubmissionOrders) {
+  const auto grid = test_grid();
+  const auto traces = measure_all(grid);
+
+  const auto run_with = [&](std::vector<std::size_t> order) {
+    SweepOptions opt;
+    opt.n_workers = 4;
+    opt.submit_order = std::move(order);
+    SweepRunner runner(opt);
+    for (const auto& [n, t] : traces) runner.seed_trace(t);
+    return serialize(runner.run(grid));
+  };
+
+  const std::string first = run_with({});
+  const std::string second = run_with({});
+  EXPECT_EQ(first, second) << "repeated sweep is not byte-identical";
+
+  // A deterministic shuffle: reversed order, then odd/even interleave.
+  std::vector<std::size_t> shuffled;
+  for (std::size_t i = grid.size(); i-- > 0;)
+    if (i % 2 == 0) shuffled.push_back(i);
+  for (std::size_t i = grid.size(); i-- > 0;)
+    if (i % 2 == 1) shuffled.push_back(i);
+  const std::string third = run_with(shuffled);
+  EXPECT_EQ(first, third) << "submission order leaked into the results";
+}
+
+TEST(SweepRunner, RunGridBuildsMachineMajorCrossProduct) {
+  SweepOptions opt;
+  opt.n_workers = 2;
+  SweepRunner runner([] { return std::make_unique<SweepProgram>(); }, opt);
+  const SweepResult r = runner.run_grid(
+      {1, 2, 4}, {model::ideal_preset(), model::cm5_preset()},
+      {"ideal", "cm5"});
+  ASSERT_EQ(r.grid.size(), 6u);
+  EXPECT_EQ(r.grid[0].label, "ideal");
+  EXPECT_EQ(r.grid[0].n_threads, 1);
+  EXPECT_EQ(r.grid[5].label, "cm5");
+  EXPECT_EQ(r.grid[5].n_threads, 4);
+  // The ideal series must reproduce the zero-cost bound.
+  for (int i = 0; i < 3; ++i)
+    EXPECT_EQ(r.predictions[static_cast<std::size_t>(i)].predicted_time,
+              r.predictions[static_cast<std::size_t>(i)].ideal_time);
+}
+
+TEST(SweepRunner, MissingFactoryAndSeedIsAnError) {
+  SweepRunner runner;  // no factory, no seeds
+  SweepPoint p;
+  p.n_threads = 2;
+  p.params = model::ideal_preset();
+  EXPECT_THROW(runner.run({p}), util::Error);
+}
+
+TEST(SweepRunner, RejectsBadSubmitOrder) {
+  SweepOptions opt;
+  opt.submit_order = {0, 0};  // not a permutation
+  SweepRunner runner([] { return std::make_unique<SweepProgram>(); }, opt);
+  SweepPoint p;
+  p.n_threads = 1;
+  p.params = model::ideal_preset();
+  EXPECT_THROW(runner.run({p, p}), util::Error);
+}
+
+TEST(TranslateCache, KeyedOnThreadCountAndOptions) {
+  SweepProgram prog;
+  rt::MeasureOptions mo;
+  mo.n_threads = 2;
+  const trace::Trace t = rt::measure(prog, mo);
+
+  TranslateCache cache;
+  cache.put(t);
+  TranslateKey key;
+  key.n_threads = 2;
+  ASSERT_NE(cache.get(key), nullptr);
+  EXPECT_EQ(cache.get(key)->n_threads, 2);
+
+  // Different options -> different entry.
+  key.topt.remove_event_overhead = false;
+  EXPECT_EQ(cache.get(key), nullptr);
+  // Different thread count -> different entry.
+  key.topt = TranslateOptions{};
+  key.n_threads = 3;
+  EXPECT_EQ(cache.get(key), nullptr);
+}
+
+TEST(TranslateCache, MeasuresOncePerKeyUnderConcurrency) {
+  std::atomic<int> measurements{0};
+  TranslateCache cache;
+  TranslateKey key;
+  key.n_threads = 2;
+  const TranslateCache::Measure measure = [&](int n) {
+    ++measurements;
+    SweepProgram prog;
+    rt::MeasureOptions mo;
+    mo.n_threads = n;
+    return rt::measure(prog, mo);
+  };
+
+  util::ThreadPool pool(8);
+  for (int i = 0; i < 32; ++i)
+    pool.submit([&] { (void)cache.get_or_prepare(key, measure); });
+  pool.wait();
+  EXPECT_EQ(measurements.load(), 1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 31u);
+}
+
+TEST(ThreadPool, DrainsAllTasksAndIsReusable) {
+  util::ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 100; ++i) pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), (round + 1) * 100);
+  }
+}
+
+TEST(OnceCell, RetriesAfterThrowingInitializer) {
+  util::OnceCell<int> cell;
+  EXPECT_THROW(cell.get_or_init([]() -> int { throw util::Error("boom"); }),
+               util::Error);
+  EXPECT_EQ(cell.peek(), nullptr);
+  EXPECT_EQ(cell.get_or_init([] { return 7; }), 7);
+  ASSERT_NE(cell.peek(), nullptr);
+  EXPECT_EQ(*cell.peek(), 7);
+}
+
+}  // namespace
+}  // namespace xp::core

@@ -1,0 +1,122 @@
+// Golden-file round-trip coverage for trace serialization.
+//
+// A golden measured trace of the Grid suite program (the §4.1 subject) is
+// checked in at tests/golden/grid_n4.xpt.  These tests pin three contracts
+// at the byte level:
+//
+//   1. text I/O is a bijection on its image: read(golden) then write
+//      reproduces the file byte for byte;
+//   2. binary I/O round-trips losslessly: write_binary -> read_binary ->
+//      write_binary yields identical bytes, and the re-read trace still
+//      textualizes to the golden bytes;
+//   3. measurement is reproducible: re-measuring the pinned program/config
+//      yields the golden bytes — the property that makes a TranslateCache
+//      key (n_threads, TranslateOptions) a sound stand-in for the trace
+//      content itself (core/sweep.hpp's cache-key contract).
+//
+// Regenerate after an intentional tracer/suite change with:
+//   XP_REGEN_GOLDEN=1 ./trace_io_roundtrip_test
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "rt/runtime.hpp"
+#include "suite/suite.hpp"
+#include "trace/trace_io.hpp"
+
+namespace xp::trace {
+namespace {
+
+const char* kGoldenPath = XP_GOLDEN_DIR "/grid_n4.xpt";
+
+// The pinned measurement: Grid, 4 threads, a reduced problem size that
+// keeps the golden file small but still exercises every event kind.
+Trace measure_golden_program() {
+  suite::SuiteConfig cfg;
+  cfg.grid_blocks = 4;
+  cfg.grid_block_points = 8;
+  cfg.grid_iters = 3;
+  auto prog = suite::make_grid(cfg);
+  rt::MeasureOptions mo;
+  mo.n_threads = 4;
+  return rt::measure(*prog, mo);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::string to_text(const Trace& t) {
+  std::ostringstream os;
+  write_text(t, os);
+  return os.str();
+}
+
+std::string to_binary(const Trace& t) {
+  std::ostringstream os;
+  write_binary(t, os);
+  return os.str();
+}
+
+TEST(TraceIoRoundTrip, RegenerateGolden) {
+  if (std::getenv("XP_REGEN_GOLDEN") == nullptr)
+    GTEST_SKIP() << "set XP_REGEN_GOLDEN=1 to rewrite " << kGoldenPath;
+  std::ofstream out(kGoldenPath, std::ios::binary);
+  ASSERT_TRUE(out.good());
+  write_text(measure_golden_program(), out);
+}
+
+TEST(TraceIoRoundTrip, TextReadWriteReproducesGoldenBytes) {
+  const std::string golden = slurp(kGoldenPath);
+  ASSERT_FALSE(golden.empty());
+  std::istringstream in(golden);
+  const Trace t = read_text(in);
+  t.validate();
+  EXPECT_EQ(t.n_threads(), 4);
+  EXPECT_EQ(to_text(t), golden);
+}
+
+TEST(TraceIoRoundTrip, BinaryRoundTripIsLossless) {
+  std::istringstream in(slurp(kGoldenPath));
+  const Trace t = read_text(in);
+
+  const std::string bin1 = to_binary(t);
+  std::istringstream bin_in(bin1);
+  const Trace t2 = read_binary(bin_in);
+  t2.validate();
+  const std::string bin2 = to_binary(t2);
+  EXPECT_EQ(bin1, bin2) << "binary write->read->write changed bytes";
+  EXPECT_EQ(to_text(t2), to_text(t))
+      << "binary round trip changed the text rendition";
+}
+
+TEST(TraceIoRoundTrip, MeasurementReproducesGoldenBytes) {
+  const std::string golden = slurp(kGoldenPath);
+  const Trace fresh = measure_golden_program();
+  EXPECT_EQ(to_text(fresh), golden)
+      << "re-measuring the pinned Grid config no longer matches the golden "
+         "trace; if the tracer or suite changed intentionally, regenerate "
+         "with XP_REGEN_GOLDEN=1";
+}
+
+TEST(TraceIoRoundTrip, FileExtensionDispatch) {
+  std::istringstream in(slurp(kGoldenPath));
+  const Trace t = read_text(in);
+  const std::string tmp_text = ::testing::TempDir() + "roundtrip.xpt";
+  const std::string tmp_bin = ::testing::TempDir() + "roundtrip.xptb";
+  save(t, tmp_text);
+  save(t, tmp_bin);
+  EXPECT_EQ(to_text(load(tmp_text)), to_text(t));
+  EXPECT_EQ(to_text(load(tmp_bin)), to_text(t));
+  std::remove(tmp_text.c_str());
+  std::remove(tmp_bin.c_str());
+}
+
+}  // namespace
+}  // namespace xp::trace
