@@ -1,0 +1,93 @@
+// model_fit_report — "what function IS this program's running time?"
+//
+// Sweeps processor counts for a suite benchmark (one SweepRunner batch),
+// then fits an Extra-P-style Performance-Model-Normal-Form function
+//   t(n) = c0 + sum ck * n^ik * log2(n)^jk
+// to the predicted curve (xp::fit): candidate terms over an exponent grid,
+// leave-one-out cross-validated selection with a parsimony penalty, and
+// residual-bootstrap confidence bands from the deterministic RNG.  The
+// fitted terms are the diagnosis — a growing log2(n) term is a tree
+// barrier, a growing n term is a broadcast — and the model extrapolates to
+// machine sizes far beyond what the simulator was run at.  A per-phase
+// attribution (fit::attribute_sweep) then says WHICH cost grows.
+//
+// Every stage (simulation, selection, bootstrap) is deterministic:
+// repeated runs with the same arguments print byte-identical reports.
+#include <iostream>
+
+#include "core/sweep.hpp"
+#include "fit/fit.hpp"
+#include "fit/phase_fit.hpp"
+#include "metrics/sweep_report.hpp"
+#include "suite/suite.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+
+using namespace xp;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("model_fit_report",
+                       "fit a PMNF scaling model to an extrapolated curve");
+  args.add_option("bench", "grid", "benchmark (Table 2 name)");
+  args.add_option("procs", "1,2,4,8,16,32", "processor counts to simulate");
+  args.add_option("preset", "distributed", "distributed|shared|ideal|cm5");
+  args.add_option("workers", "0", "sweep workers (0 = hardware concurrency)");
+  args.add_option("max-terms", "2", "PMNF terms per model beyond c0");
+  args.add_option("bootstrap", "200", "bootstrap replicas (0 = no bands)");
+  args.add_option("seed", "0", "bootstrap RNG seed (0 = built-in default)");
+  args.add_option("eval", "64,256,1024", "extrapolation processor counts");
+  args.add_flag("attribution", "also fit per-phase/component curves");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    model::SimParams params;
+    const std::string preset = args.get("preset");
+    if (preset == "distributed")
+      params = model::distributed_preset();
+    else if (preset == "shared")
+      params = model::shared_memory_preset();
+    else if (preset == "ideal")
+      params = model::ideal_preset();
+    else if (preset == "cm5")
+      params = model::cm5_preset();
+    else
+      throw util::Error("unknown preset: " + preset);
+
+    std::vector<int> procs, eval_at;
+    for (const auto& s : util::split(args.get("procs"), ','))
+      procs.push_back(std::stoi(s));
+    for (const auto& s : util::split(args.get("eval"), ','))
+      eval_at.push_back(std::stoi(s));
+
+    core::SweepOptions opt;
+    opt.n_workers = static_cast<int>(args.get_int("workers"));
+    const std::string bench = args.get("bench");
+    core::SweepRunner runner([&bench] { return suite::make_by_name(bench); },
+                             opt);
+    const core::SweepResult sweep = runner.run_grid(procs, {params}, {preset});
+    std::cout << "predicted times (" << bench << ", " << preset << "):\n";
+    for (std::size_t i = 0; i < procs.size(); ++i)
+      std::cout << "  n=" << procs[i] << ": "
+                << sweep.predictions[i].predicted_time.str() << '\n';
+
+    fit::FitOptions fopt;
+    fopt.grid.max_terms = static_cast<int>(args.get_int("max-terms"));
+    fopt.bootstrap = static_cast<int>(args.get_int("bootstrap"));
+    if (args.get_int("seed") != 0)
+      fopt.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+    const metrics::SweepReport report = metrics::analyze_sweep(sweep);
+    for (const auto& [label, fit] : fit::fit_sweep(report, fopt)) {
+      std::cout << "\nPMNF fit [" << label << "]:\n"
+                << fit::render_fit(fit, eval_at);
+    }
+
+    if (args.has("attribution")) {
+      std::cout << "\ncost attribution (which curve grows?):\n"
+                << fit::render_attribution(fit::attribute_sweep(sweep, fopt));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
   util::ArgParser args("scalability_report",
                        "extrapolated scalability analysis of a benchmark");
   args.add_option("bench", "poisson", "benchmark (Table 2 name)");
-  args.add_option("procs", "1,2,4,8,16,32", "processor counts (start at 1)");
+  args.add_option("procs", "1,2,4,8,16,32",
+                  "processor counts (first entry is the speedup baseline)");
   args.add_option("preset", "distributed", "distributed|shared|ideal|cm5");
   args.add_option("workers", "0", "sweep workers (0 = hardware concurrency)");
   args.add_flag("phases", "also print the per-phase profile at max procs");
@@ -60,8 +61,7 @@ int main(int argc, char** argv) {
     if (series.has_scalability)
       std::cout << "\n" << metrics::render_scalability(series.scalability);
     else
-      std::cout << "\n(no scalability analysis: sweep must start at 1 "
-                   "processor with >= 2 points)\n";
+      std::cout << "\n(no scalability analysis: sweep needs >= 2 points)\n";
 
     if (args.has("phases")) {
       const core::Prediction& last = sweep.predictions.back();

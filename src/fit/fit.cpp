@@ -1,0 +1,299 @@
+#include "fit/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+
+#include "fit/solver.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace xp::fit {
+
+namespace {
+
+/// Design columns for one candidate: the constant plus each term at xs.
+std::vector<std::vector<double>> design(const std::vector<double>& xs,
+                                        const std::vector<Term>& terms) {
+  std::vector<std::vector<double>> cols;
+  cols.emplace_back(xs.size(), 1.0);
+  for (const Term& t : terms) {
+    std::vector<double> col(xs.size());
+    for (std::size_t i = 0; i < xs.size(); ++i) col[i] = t.eval(xs[i]);
+    cols.push_back(std::move(col));
+  }
+  return cols;
+}
+
+/// The same columns with row `skip` removed (for a leave-one-out fold).
+std::vector<std::vector<double>> drop_row(
+    const std::vector<std::vector<double>>& cols, std::size_t skip) {
+  std::vector<std::vector<double>> out(cols.size());
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    out[c].reserve(cols[c].size() - 1);
+    for (std::size_t r = 0; r < cols[c].size(); ++r)
+      if (r != skip) out[c].push_back(cols[c][r]);
+  }
+  return out;
+}
+
+bool solve(const std::vector<std::vector<double>>& cols,
+           const std::vector<double>& y, const FitOptions& opt,
+           std::vector<double>& coeff) {
+  return opt.nonnegative ? nonneg_least_squares(cols, y, coeff)
+                         : least_squares(cols, y, coeff);
+}
+
+/// Fit + leave-one-out cross-validate one candidate.  False when any solve
+/// fails (the candidate is infeasible on this sample set).
+bool score_candidate(const std::vector<double>& xs,
+                     const std::vector<double>& ys,
+                     const std::vector<Term>& terms, const FitOptions& opt,
+                     CandidateFit& out) {
+  const std::size_t m = xs.size();
+  const std::size_t k = terms.size();
+  if (m < k + 2) return false;  // no out-of-sample information left
+
+  const auto cols = design(xs, terms);
+  std::vector<double> coeff;
+  if (!solve(cols, ys, opt, coeff)) return false;
+
+  std::vector<double> yhat(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    double v = coeff[0];
+    for (std::size_t c = 1; c < cols.size(); ++c) v += coeff[c] * cols[c][r];
+    yhat[r] = v;
+    if (!std::isfinite(v)) return false;
+  }
+
+  double cv_sq = 0.0;
+  for (std::size_t skip = 0; skip < m; ++skip) {
+    std::vector<double> yfold;
+    yfold.reserve(m - 1);
+    for (std::size_t r = 0; r < m; ++r)
+      if (r != skip) yfold.push_back(ys[r]);
+    std::vector<double> cfold;
+    if (!solve(drop_row(cols, skip), yfold, opt, cfold)) return false;
+    double pred = cfold[0];
+    for (std::size_t c = 1; c < cols.size(); ++c)
+      pred += cfold[c] * cols[c][skip];
+    if (!std::isfinite(pred)) return false;
+    cv_sq += (pred - ys[skip]) * (pred - ys[skip]);
+  }
+
+  out.model.terms = terms;
+  out.model.coeff = std::move(coeff);
+  out.r2 = util::r_squared(ys, yhat);
+  out.adj_r2 = util::adjusted_r_squared(out.r2, m, k);
+  out.cv_rmse = std::sqrt(cv_sq / static_cast<double>(m));
+  out.score = out.cv_rmse *
+              std::pow(1.0 + opt.parsimony, static_cast<double>(k));
+  return true;
+}
+
+/// Deterministic candidate ordering: score, then fewer terms, then the
+/// canonical term sequence — a total order, so sorting is stable in effect.
+bool candidate_less(const CandidateFit& a, const CandidateFit& b) {
+  if (a.score != b.score) return a.score < b.score;
+  if (a.model.terms.size() != b.model.terms.size())
+    return a.model.terms.size() < b.model.terms.size();
+  for (std::size_t i = 0; i < a.model.terms.size(); ++i) {
+    if (a.model.terms[i] == b.model.terms[i]) continue;
+    return term_less(a.model.terms[i], b.model.terms[i]);
+  }
+  return false;
+}
+
+void bootstrap_bands(const std::vector<double>& xs,
+                     const std::vector<double>& ys, const FitOptions& opt,
+                     FitResult& r) {
+  if (opt.bootstrap <= 0) return;
+  const std::size_t m = xs.size();
+  const auto cols = design(xs, r.model.terms);
+  std::vector<double> yhat(m), resid(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    yhat[i] = r.model.eval(xs[i]);
+    resid[i] = ys[i] - yhat[i];
+  }
+  util::Xoshiro256ss rng(opt.seed);
+  r.boot_coeff.reserve(static_cast<std::size_t>(opt.bootstrap));
+  std::vector<double> ystar(m), coeff;
+  for (int b = 0; b < opt.bootstrap; ++b) {
+    for (std::size_t i = 0; i < m; ++i)
+      ystar[i] = yhat[i] + resid[rng.next_below(m)];
+    if (solve(cols, ystar, opt, coeff)) r.boot_coeff.push_back(coeff);
+  }
+}
+
+}  // namespace
+
+FitResult::Band FitResult::band(double n) const {
+  const double point = model.eval(n);
+  if (boot_coeff.empty()) return {point, point};
+  std::vector<double> evals;
+  evals.reserve(boot_coeff.size());
+  for (const auto& c : boot_coeff) {
+    Model m{model.terms, c};
+    evals.push_back(m.eval(n));
+  }
+  const double tail = 100.0 * (1.0 - confidence) / 2.0;
+  return {util::percentile(evals, tail), util::percentile(evals, 100.0 - tail)};
+}
+
+FitResult fit_curve_terms(const std::vector<int>& procs,
+                          const std::vector<double>& ys,
+                          std::vector<Term> candidates,
+                          const FitOptions& opt) {
+  XP_REQUIRE(procs.size() == ys.size() && procs.size() >= 3,
+             "fit needs matching procs/data with >= 3 points");
+  XP_REQUIRE(procs.front() >= 1, "fit needs processor counts >= 1");
+  for (std::size_t i = 1; i < procs.size(); ++i)
+    XP_REQUIRE(procs[i] > procs[i - 1], "processor counts must increase");
+  for (double y : ys)
+    XP_REQUIRE(std::isfinite(y), "fit data must be finite");
+
+  // Canonicalize the pool so the result cannot depend on candidate order.
+  std::sort(candidates.begin(), candidates.end(), term_less);
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+  candidates.erase(std::remove(candidates.begin(), candidates.end(), Term{}),
+                   candidates.end());
+
+  std::vector<double> xs(procs.size());
+  for (std::size_t i = 0; i < procs.size(); ++i)
+    xs[i] = static_cast<double>(procs[i]);
+
+  std::vector<CandidateFit> scored;
+  std::vector<Term> subset;
+  const int max_terms = std::max(0, opt.grid.max_terms);
+  // Enumerate every subset of <= max_terms candidate terms (the empty
+  // subset is the constant-only baseline model).
+  std::function<void(std::size_t)> enumerate = [&](std::size_t from) {
+    CandidateFit c;
+    if (score_candidate(xs, ys, subset, opt, c)) scored.push_back(std::move(c));
+    if (static_cast<int>(subset.size()) == max_terms) return;
+    for (std::size_t t = from; t < candidates.size(); ++t) {
+      subset.push_back(candidates[t]);
+      enumerate(t + 1);
+      subset.pop_back();
+    }
+  };
+  enumerate(0);
+  XP_REQUIRE(!scored.empty(), "no PMNF candidate was fittable on this curve");
+
+  // Terms the non-negativity constraint eliminated carry coefficient 0:
+  // prune them, then collapse candidates that degenerated into the same
+  // model (the copy with the smaller parsimony penalty sorts first).
+  for (CandidateFit& c : scored) {
+    Model& m = c.model;
+    for (std::size_t k = m.terms.size(); k-- > 0;) {
+      if (m.coeff[k + 1] != 0.0) continue;
+      m.terms.erase(m.terms.begin() + static_cast<std::ptrdiff_t>(k));
+      m.coeff.erase(m.coeff.begin() + static_cast<std::ptrdiff_t>(k + 1));
+    }
+  }
+  std::sort(scored.begin(), scored.end(), candidate_less);
+  std::vector<CandidateFit> unique;
+  for (CandidateFit& c : scored) {
+    const bool seen = std::any_of(
+        unique.begin(), unique.end(), [&c](const CandidateFit& u) {
+          return u.model.terms == c.model.terms &&
+                 u.model.coeff == c.model.coeff;
+        });
+    if (!seen) unique.push_back(std::move(c));
+  }
+  scored = std::move(unique);
+  if (opt.keep_ranked > 0 &&
+      scored.size() > static_cast<std::size_t>(opt.keep_ranked))
+    scored.resize(static_cast<std::size_t>(opt.keep_ranked));
+
+  FitResult r;
+  r.xs = std::move(xs);
+  r.ys = ys;
+  r.model = scored.front().model;
+  r.r2 = scored.front().r2;
+  r.adj_r2 = scored.front().adj_r2;
+  r.cv_rmse = scored.front().cv_rmse;
+  r.score = scored.front().score;
+  r.ranked = std::move(scored);
+  r.confidence = opt.confidence;
+  bootstrap_bands(r.xs, r.ys, opt, r);
+  return r;
+}
+
+FitResult fit_curve(const std::vector<int>& procs,
+                    const std::vector<double>& ys, const FitOptions& opt) {
+  return fit_curve_terms(procs, ys, generate_terms(opt.grid), opt);
+}
+
+FitResult model_curve(const std::vector<int>& procs,
+                      const std::vector<util::Time>& times,
+                      const FitOptions& opt) {
+  std::vector<double> ys(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) ys[i] = times[i].to_us();
+  return fit_curve(procs, ys, opt);
+}
+
+FitResult model_curve(const metrics::SweepSeries& series,
+                      const FitOptions& opt) {
+  return model_curve(series.procs, series.times, opt);
+}
+
+std::vector<std::pair<std::string, FitResult>> fit_sweep(
+    const metrics::SweepReport& report, const FitOptions& opt) {
+  std::vector<std::pair<std::string, FitResult>> out;
+  for (const auto& s : report.series) {
+    if (s.procs.size() < 3) continue;  // not enough points to model
+    out.emplace_back(s.label, model_curve(s, opt));
+  }
+  return out;
+}
+
+std::string render_fit(const FitResult& r, const std::vector<int>& eval_at,
+                       const std::string& unit) {
+  std::ostringstream os;
+  os << "selected model: t(n) = " << r.model.str() << "  [" << unit << "]\n";
+  os << "  R2 " << util::Table::fixed(r.r2, 4) << ", adjusted R2 "
+     << util::Table::fixed(r.adj_r2, 4) << ", LOO-CV RMSE "
+     << util::Table::num(r.cv_rmse) << ' ' << unit << '\n';
+  const int dom = r.model.dominant_term();
+  if (dom >= 0)
+    os << "  growth: dominated by "
+       << r.model.terms[static_cast<std::size_t>(dom)].str()
+       << " — this term decides behavior at scale\n";
+  else
+    os << "  growth: no growing term — the curve is flat or improving in n\n";
+
+  if (r.ranked.size() > 1) {
+    util::Table t({"rank", "model", "CV RMSE", "adj R2", "score"});
+    for (std::size_t i = 0; i < r.ranked.size(); ++i) {
+      const CandidateFit& c = r.ranked[i];
+      t.add_row({std::to_string(i + 1), c.model.str(),
+                 util::Table::num(c.cv_rmse),
+                 util::Table::fixed(c.adj_r2, 4), util::Table::num(c.score)});
+    }
+    os << "candidates:\n" << t.to_text();
+  }
+
+  if (!eval_at.empty()) {
+    const int pct = static_cast<int>(std::lround(100.0 * r.confidence));
+    util::Table t({"procs", "extrapolated", std::to_string(pct) + "% band"});
+    for (int n : eval_at) {
+      const auto band = r.band(n);
+      std::string b = r.boot_coeff.empty()
+                          ? std::string("-")
+                          : "[" + util::Table::num(band.lo) + ", " +
+                                util::Table::num(band.hi) + "]";
+      t.add_row({std::to_string(n),
+                 util::Table::num(r.eval(static_cast<double>(n))) + ' ' + unit,
+                 b});
+    }
+    os << "extrapolation:\n" << t.to_text();
+  }
+  return os.str();
+}
+
+}  // namespace xp::fit

@@ -1,0 +1,124 @@
+// Empirical performance-model fitting and extrapolation (xp::fit).
+//
+// The sweep engine mass-produces predicted-time curves t(n) over the
+// processor counts the simulator can afford; this module compresses each
+// curve into a human-readable PMNF function (pmnf.hpp) and extrapolates it
+// to machine sizes far beyond the simulated range:
+//
+//   1. candidate generation — every subset of <= max_terms basis terms
+//      from the configurable (i, j) exponent grid;
+//   2. per-candidate least-squares fit (solver.hpp) and leave-one-out
+//      cross-validation;
+//   3. model selection by cross-validated error with a multiplicative
+//      parsimony penalty per term (and adjusted R² reported alongside) —
+//      a two-term model must EARN its extra term out of sample;
+//   4. residual-bootstrap confidence bands, driven by the deterministic
+//      util::Xoshiro256ss so every fit is bit-reproducible.
+//
+// Determinism contract: candidate terms are canonicalized (sorted,
+// deduplicated) before enumeration, selection ties break on the canonical
+// key, and the bootstrap consumes a fixed-seed RNG — so repeated fits, and
+// fits given the same candidates in any order, are bitwise identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fit/pmnf.hpp"
+#include "metrics/sweep_report.hpp"
+#include "util/time.hpp"
+
+namespace xp::fit {
+
+struct FitOptions {
+  TermGrid grid;
+  /// Multiplicative cross-validation penalty per model term: a k-term
+  /// candidate competes with score cv_rmse * (1 + parsimony)^k.
+  double parsimony = 0.05;
+  /// Constrain every coefficient >= 0 (solver.hpp NNLS).  Cost curves are
+  /// sums of non-negative components; the constraint prevents the
+  /// few-sample pathology of two huge cancelling terms that fit the
+  /// samples and explode out of sample.  Terms eliminated by the
+  /// constraint are pruned from the selected model.
+  bool nonnegative = true;
+  /// Residual-bootstrap replicas (0 disables bands).
+  int bootstrap = 200;
+  /// Seed for the bootstrap resampler (util::Xoshiro256ss).
+  std::uint64_t seed = 0xF17C0FFEEull;
+  /// Two-sided coverage of the confidence band.
+  double confidence = 0.90;
+  /// Keep this many runner-up candidates for the report.
+  int keep_ranked = 5;
+};
+
+/// One scored candidate (the selected model is ranked[0]).
+struct CandidateFit {
+  Model model;
+  double r2 = 0.0;
+  double adj_r2 = 0.0;
+  double cv_rmse = 0.0;  ///< leave-one-out RMSE, same unit as y
+  double score = 0.0;    ///< cv_rmse with the parsimony penalty applied
+};
+
+struct FitResult {
+  std::vector<double> xs;  ///< processor counts fitted against
+  std::vector<double> ys;  ///< data in fit units (microseconds for times)
+  Model model;             ///< the selected model
+  double r2 = 0.0;
+  double adj_r2 = 0.0;
+  double cv_rmse = 0.0;
+  double score = 0.0;
+  std::vector<CandidateFit> ranked;  ///< best first, <= keep_ranked entries
+  double confidence = 0.90;
+  /// Bootstrap-replica coefficients for the selected terms (one inner
+  /// vector per replica, layout as Model::coeff).
+  std::vector<std::vector<double>> boot_coeff;
+
+  double eval(double n) const { return model.eval(n); }
+
+  struct Band {
+    double lo = 0.0;
+    double hi = 0.0;
+  };
+  /// Percentile confidence band of the model prediction at n over the
+  /// bootstrap replicas; collapses onto the point estimate when the
+  /// bootstrap was disabled.
+  Band band(double n) const;
+};
+
+/// Fit a PMNF model to (procs, ys).  Needs >= 3 strictly increasing
+/// processor counts >= 1 and finite data; throws util::Error otherwise.
+FitResult fit_curve(const std::vector<int>& procs,
+                    const std::vector<double>& ys, const FitOptions& opt = {});
+
+/// As fit_curve, with an explicit candidate-term pool instead of
+/// opt.grid's.  The pool is canonicalized internally, so any permutation
+/// of `candidates` yields a bitwise-identical result.
+FitResult fit_curve_terms(const std::vector<int>& procs,
+                          const std::vector<double>& ys,
+                          std::vector<Term> candidates,
+                          const FitOptions& opt = {});
+
+/// Fit a predicted-time curve (fit units: microseconds).
+FitResult model_curve(const std::vector<int>& procs,
+                      const std::vector<util::Time>& times,
+                      const FitOptions& opt = {});
+
+/// Fit one analyzed sweep series (metrics::analyze_sweep output).
+FitResult model_curve(const metrics::SweepSeries& series,
+                      const FitOptions& opt = {});
+
+/// Fit every series of an analyzed sweep, in series order.
+std::vector<std::pair<std::string, FitResult>> fit_sweep(
+    const metrics::SweepReport& report, const FitOptions& opt = {});
+
+/// Report: the selected model with its quality numbers, runner-up
+/// candidates, and extrapolations (with confidence bands) at `eval_at`
+/// processor counts.  `unit` labels the y values (e.g. "us").
+std::string render_fit(const FitResult& r,
+                       const std::vector<int>& eval_at = {64, 256, 1024},
+                       const std::string& unit = "us");
+
+}  // namespace xp::fit

@@ -1,0 +1,62 @@
+// Per-phase / per-component scaling attribution.
+//
+// A whole-execution PMNF fit (fit.hpp) says THAT a program stops scaling;
+// this module says WHERE.  It slices every extrapolated trace of a sweep
+// at its barriers (metrics::profile_phases), aggregates per processor
+// count the classic cost components —
+//
+//   compute        sum over phases of the mean per-thread busy span
+//   barrier wait   sum over phases of (phase duration - mean busy), i.e.
+//                  imbalance + synchronization cost
+//   remote accesses  total remote elements requested
+//
+// — fits a PMNF model to each component curve, and (when the barrier
+// structure is identical at every processor count) to each individual
+// phase's duration.  The fitted terms attribute the growth: a rising
+// log2(n) barrier-wait term is a synchronization bottleneck, a rising
+// n^1/2 remote term is a surface-to-volume communication cost, and so on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "fit/fit.hpp"
+#include "trace/trace.hpp"
+
+namespace xp::fit {
+
+/// One attributed curve: per-procs values plus the model fitted to them.
+struct ComponentFit {
+  std::string name;
+  std::string unit = "us";     ///< y unit ("us" for times, "#" for counts)
+  std::vector<double> values;  ///< aligned with PhaseAttribution::procs
+  FitResult fit;
+};
+
+struct PhaseAttribution {
+  std::vector<int> procs;
+  std::vector<ComponentFit> components;  ///< compute / barrier wait / remote
+  /// Per-phase duration fits; empty when the phase structure (count and
+  /// barrier ids) differs across processor counts.
+  std::vector<ComponentFit> phases;
+  /// One-line diagnosis: the fastest-growing component and its term.
+  std::string verdict;
+};
+
+/// Attribute scaling cost over extrapolated traces, one per processor
+/// count (strictly increasing, >= 3 entries).
+PhaseAttribution attribute_phases(const std::vector<int>& procs,
+                                  const std::vector<const trace::Trace*>& traces,
+                                  const FitOptions& opt = {});
+
+/// Convenience over a sweep: uses each prediction's extrapolated trace.
+/// The sweep must cover >= 3 distinct processor counts; duplicate counts
+/// (multi-machine grids) use the first label's predictions.
+PhaseAttribution attribute_sweep(const core::SweepResult& sweep,
+                                 const FitOptions& opt = {});
+
+/// Aligned table of component (and per-phase) models plus the verdict.
+std::string render_attribution(const PhaseAttribution& a);
+
+}  // namespace xp::fit

@@ -1,0 +1,83 @@
+#include "fit/pmnf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace xp::fit {
+
+namespace {
+
+std::string fmt(double v, const char* spec = "%.6g") {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, spec, v);
+  return buf;
+}
+
+}  // namespace
+
+double Term::eval(double n) const {
+  double v = 1.0;
+  if (i != 0.0) v = std::pow(n, i);
+  if (j != 0) v *= std::pow(std::log2(n), j);
+  return v;
+}
+
+std::string Term::str() const {
+  std::string s;
+  if (i != 0.0) s = "n^" + fmt(i, "%g");
+  if (j != 0) {
+    if (!s.empty()) s += "*";
+    s += "log2(n)^" + fmt(static_cast<double>(j), "%g");
+  }
+  return s.empty() ? "1" : s;
+}
+
+bool term_less(const Term& a, const Term& b) {
+  if (a.i != b.i) return a.i < b.i;
+  return a.j < b.j;
+}
+
+double Model::eval(double n) const {
+  double v = coeff.empty() ? 0.0 : coeff[0];
+  for (std::size_t k = 0; k < terms.size(); ++k)
+    v += coeff[k + 1] * terms[k].eval(n);
+  return v;
+}
+
+std::string Model::str() const {
+  if (coeff.empty()) return "0";
+  std::string s = fmt(coeff[0]);
+  for (std::size_t k = 0; k < terms.size(); ++k) {
+    const double c = coeff[k + 1];
+    s += c < 0 ? " - " : " + ";
+    s += fmt(std::abs(c)) + "*" + terms[k].str();
+  }
+  return s;
+}
+
+int Model::dominant_term() const {
+  int best = -1;
+  for (std::size_t k = 0; k < terms.size(); ++k) {
+    const Term& t = terms[k];
+    const bool grows = t.i > 0.0 || (t.i == 0.0 && t.j > 0);
+    if (!grows || coeff[k + 1] <= 0.0) continue;
+    if (best < 0 || term_less(terms[static_cast<std::size_t>(best)], t))
+      best = static_cast<int>(k);
+  }
+  return best;
+}
+
+std::vector<Term> generate_terms(const TermGrid& g) {
+  std::vector<Term> out;
+  for (double i : g.i_exps)
+    for (int j : g.j_exps) {
+      if (i == 0.0 && j == 0) continue;
+      out.push_back(Term{i, j});
+    }
+  std::sort(out.begin(), out.end(), term_less);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace xp::fit

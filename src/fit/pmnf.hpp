@@ -1,0 +1,68 @@
+// Performance Model Normal Form (PMNF) representation.
+//
+// Empirical performance modeling in the Extra-P tradition (see PAPERS.md:
+// Calotoiu et al.) restricts scaling functions to the normal form
+//
+//     t(n) = c0 + sum_k  ck * n^ik * log2(n)^jk
+//
+// with the exponents (ik, jk) drawn from a small configurable grid.  The
+// form is expressive enough for the cost shapes that occur in parallel
+// codes (1/n strong-scaling compute, log-tree barriers, n^1/2 halo
+// surfaces, linear broadcast overhead ...) while staying human-readable:
+// the fitted terms ARE the diagnosis.
+//
+// This header holds the pure representation — terms, models, the candidate
+// grid — with no fitting logic; fit.hpp builds the solver/selector on top.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xp::fit {
+
+/// One PMNF basis function n^i * log2(n)^j.  The constant term is implicit
+/// in Model, so (i, j) == (0, 0) is excluded from candidate grids.
+struct Term {
+  double i = 0.0;  ///< exponent of n (fractional and negative allowed)
+  int j = 0;       ///< exponent of log2(n), j >= 0
+
+  double eval(double n) const;
+  /// Render like "n^1.5*log2(n)^2" ("1" for the empty term).
+  std::string str() const;
+
+  bool operator==(const Term&) const = default;
+};
+
+/// Canonical order: by asymptotic growth, i first then j.  Fitting sorts
+/// candidate terms with this so results cannot depend on generation order.
+bool term_less(const Term& a, const Term& b);
+
+/// A fitted model t(n) = coeff[0] + sum coeff[k+1] * terms[k](n).
+struct Model {
+  std::vector<Term> terms;    ///< canonical (term_less) order
+  std::vector<double> coeff;  ///< size terms.size() + 1; [0] is the constant
+
+  double eval(double n) const;
+  /// Human-readable normal form, e.g. "120 + 3.1*n^-1 + 0.42*log2(n)^1".
+  std::string str() const;
+
+  /// Index (into terms) of the fastest-growing term with a positive
+  /// coefficient — the scalability verdict — or -1 when no term grows
+  /// (every term has i <= 0 and j == 0, or a non-positive coefficient).
+  int dominant_term() const;
+};
+
+/// The candidate-exponent grid the selector searches over.  The defaults
+/// cover strong-scaling decay (n^-1, n^-1/2), flat terms with log factors
+/// (tree barriers), and polynomial overhead growth up to n^2.
+struct TermGrid {
+  std::vector<double> i_exps = {-1.0, -0.5, 0.0, 0.5, 1.0, 1.5, 2.0};
+  std::vector<int> j_exps = {0, 1, 2};
+  int max_terms = 2;  ///< terms per model beyond the constant
+};
+
+/// All single terms of the grid — deduplicated, (0,0) excluded, in
+/// canonical term_less order.
+std::vector<Term> generate_terms(const TermGrid& g);
+
+}  // namespace xp::fit

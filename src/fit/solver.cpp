@@ -1,0 +1,107 @@
+#include "fit/solver.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace xp::fit {
+
+bool least_squares(const std::vector<std::vector<double>>& columns,
+                   const std::vector<double>& y, std::vector<double>& coeff) {
+  const std::size_t k = columns.size();
+  const std::size_t m = y.size();
+  XP_REQUIRE(k > 0 && m >= k, "least_squares needs rows >= columns > 0");
+  for (const auto& col : columns)
+    XP_REQUIRE(col.size() == m, "least_squares column/row mismatch");
+
+  // Column scaling factors (inverse norms).
+  std::vector<double> scale(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    const double norm = util::l2_norm(columns[c]);
+    if (!(norm > 0.0) || !std::isfinite(norm)) return false;
+    scale[c] = 1.0 / norm;
+  }
+
+  // Scaled Gram matrix A = S X'X S and right-hand side b = S X'y.
+  std::vector<double> a(k * k);
+  std::vector<double> b(k);
+  for (std::size_t r = 0; r < k; ++r) {
+    for (std::size_t c = r; c < k; ++c) {
+      double s = 0.0;
+      for (std::size_t t = 0; t < m; ++t) s += columns[r][t] * columns[c][t];
+      s *= scale[r] * scale[c];
+      a[r * k + c] = s;
+      a[c * k + r] = s;
+    }
+    double s = 0.0;
+    for (std::size_t t = 0; t < m; ++t) s += columns[r][t] * y[t];
+    b[r] = s * scale[r];
+  }
+
+  // Gaussian elimination with partial pivoting.  The scaled Gram matrix
+  // has unit diagonal, so a pivot below kPivotEps means the columns are
+  // (numerically) linearly dependent on this sample set.
+  constexpr double kPivotEps = 1e-10;
+  for (std::size_t p = 0; p < k; ++p) {
+    std::size_t pivot = p;
+    for (std::size_t r = p + 1; r < k; ++r)
+      if (std::abs(a[r * k + p]) > std::abs(a[pivot * k + p])) pivot = r;
+    if (std::abs(a[pivot * k + p]) < kPivotEps) return false;
+    if (pivot != p) {
+      for (std::size_t c = 0; c < k; ++c)
+        std::swap(a[p * k + c], a[pivot * k + c]);
+      std::swap(b[p], b[pivot]);
+    }
+    for (std::size_t r = p + 1; r < k; ++r) {
+      const double f = a[r * k + p] / a[p * k + p];
+      if (f == 0.0) continue;
+      for (std::size_t c = p; c < k; ++c) a[r * k + c] -= f * a[p * k + c];
+      b[r] -= f * b[p];
+    }
+  }
+  coeff.assign(k, 0.0);
+  for (std::size_t rp = k; rp-- > 0;) {
+    double s = b[rp];
+    for (std::size_t c = rp + 1; c < k; ++c) s -= a[rp * k + c] * coeff[c];
+    coeff[rp] = s / a[rp * k + rp];
+  }
+  for (std::size_t c = 0; c < k; ++c) {
+    coeff[c] *= scale[c];
+    if (!std::isfinite(coeff[c])) return false;
+  }
+  return true;
+}
+
+bool nonneg_least_squares(const std::vector<std::vector<double>>& columns,
+                          const std::vector<double>& y,
+                          std::vector<double>& coeff) {
+  std::vector<std::size_t> active(columns.size());
+  for (std::size_t c = 0; c < columns.size(); ++c) active[c] = c;
+
+  while (!active.empty()) {
+    std::vector<std::vector<double>> sub;
+    sub.reserve(active.size());
+    for (std::size_t c : active) sub.push_back(columns[c]);
+    std::vector<double> sub_coeff;
+    if (y.size() < sub.size() || !least_squares(sub, y, sub_coeff))
+      return false;
+
+    std::size_t worst = active.size();
+    for (std::size_t i = 0; i < active.size(); ++i)
+      if (sub_coeff[i] < 0.0 &&
+          (worst == active.size() || sub_coeff[i] < sub_coeff[worst]))
+        worst = i;
+    if (worst == active.size()) {
+      coeff.assign(columns.size(), 0.0);
+      for (std::size_t i = 0; i < active.size(); ++i)
+        coeff[active[i]] = sub_coeff[i];
+      return true;
+    }
+    active.erase(active.begin() + static_cast<std::ptrdiff_t>(worst));
+  }
+  return false;
+}
+
+}  // namespace xp::fit

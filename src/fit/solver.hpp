@@ -1,0 +1,43 @@
+// Small dense least-squares solver (no external dependencies).
+//
+// Fitting PMNF candidates needs ordinary least squares over a handful of
+// design columns (the constant plus 1-3 basis terms evaluated at <= a few
+// dozen processor counts).  At that size the classic normal-equations
+// route is both exact enough and trivially portable:
+//
+//   1. scale every design column to unit Euclidean norm (the columns mix
+//      n^-1 with n^2*log2(n)^2, so raw Gram matrices are catastrophically
+//      ill-conditioned; scaling restores a bounded condition number),
+//   2. form the Gram system  (S X'X S) z = S X'y,
+//   3. solve it by Gaussian elimination with partial pivoting,
+//   4. unscale:  c = S z.
+//
+// Everything is deterministic: no randomized pivoting, no parallel
+// reductions, identical inputs give bitwise-identical coefficients.
+#pragma once
+
+#include <vector>
+
+namespace xp::fit {
+
+/// Solve  min_c || X c - y ||_2  where X's columns are `columns` (each of
+/// y.size() rows).  On success writes one coefficient per column and
+/// returns true; returns false when a column is (numerically) zero or the
+/// scaled Gram matrix is singular — callers treat that candidate as
+/// infeasible rather than trusting garbage coefficients.
+bool least_squares(const std::vector<std::vector<double>>& columns,
+                   const std::vector<double>& y, std::vector<double>& coeff);
+
+/// least_squares with every coefficient constrained non-negative, by
+/// deterministic backward elimination: solve unconstrained, eliminate the
+/// most negative coefficient's column, resolve, until all survivors are
+/// >= 0 (eliminated columns report coefficient 0).  Cost curves are sums
+/// of non-negative components, and the constraint is what keeps a
+/// few-sample fit from "explaining" the data with two huge cancelling
+/// terms that explode out of sample.  Returns false when the unconstrained
+/// primitive fails or every column is eliminated.
+bool nonneg_least_squares(const std::vector<std::vector<double>>& columns,
+                          const std::vector<double>& y,
+                          std::vector<double>& coeff);
+
+}  // namespace xp::fit

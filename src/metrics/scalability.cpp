@@ -6,22 +6,25 @@
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/stats.hpp"
 #include "util/table.hpp"
 
 namespace xp::metrics {
 
-double karp_flatt(double speedup, int n) {
-  XP_REQUIRE(n > 1, "Karp-Flatt needs n > 1");
+double karp_flatt(double speedup, int n, int baseline) {
+  XP_REQUIRE(baseline >= 1, "Karp-Flatt needs baseline >= 1");
+  XP_REQUIRE(n > baseline, "Karp-Flatt needs n > baseline");
   XP_REQUIRE(speedup > 0, "Karp-Flatt needs a positive speedup");
   const double inv_s = 1.0 / speedup;
-  const double inv_n = 1.0 / static_cast<double>(n);
-  return (inv_s - inv_n) / (1.0 - inv_n);
+  const double ratio = static_cast<double>(baseline) / static_cast<double>(n);
+  return (inv_s - ratio) / (1.0 - ratio);
 }
 
 double ScalabilityReport::projected_speedup(int n) const {
   XP_REQUIRE(n >= 1, "projection needs n >= 1");
   const double f = amdahl_f;
-  return 1.0 / (f + (1.0 - f) / static_cast<double>(n));
+  const double ratio = static_cast<double>(baseline_procs) / static_cast<double>(n);
+  return 1.0 / (f + (1.0 - f) * ratio);
 }
 
 double ScalabilityReport::max_speedup() const {
@@ -33,8 +36,7 @@ ScalabilityReport analyze_scalability(const std::vector<int>& procs,
                                       const std::vector<Time>& times) {
   XP_REQUIRE(procs.size() == times.size() && procs.size() >= 2,
              "scalability needs matching procs/times with >= 2 points");
-  XP_REQUIRE(procs.front() == 1, "the first entry must be the 1-processor "
-                                 "baseline");
+  XP_REQUIRE(procs.front() >= 1, "processor counts must be >= 1");
   for (std::size_t i = 1; i < procs.size(); ++i)
     XP_REQUIRE(procs[i] > procs[i - 1], "processor counts must increase");
   for (const Time& t : times)
@@ -43,43 +45,59 @@ ScalabilityReport analyze_scalability(const std::vector<int>& procs,
   ScalabilityReport r;
   r.procs = procs;
   r.times = times;
-  const double t1 = times.front().to_us();
+  r.baseline_procs = procs.front();
+  const double b = static_cast<double>(r.baseline_procs);
+  const double tb = times.front().to_us();
   for (std::size_t i = 0; i < procs.size(); ++i) {
-    const double s = t1 / times[i].to_us();
+    const double s = tb / times[i].to_us();
     r.speedups.push_back(s);
-    if (procs[i] > 1) r.serial_fraction.push_back(karp_flatt(s, procs[i]));
+    if (procs[i] > r.baseline_procs)
+      r.serial_fraction.push_back(karp_flatt(s, procs[i], r.baseline_procs));
   }
 
-  // Least-squares Amdahl fit:  T(n) - T1/n  =  f * T1 (1 - 1/n).
+  // Least-squares Amdahl fit against the baseline run:
+  //   T(n) - Tb b/n  =  f * Tb (1 - b/n).
   double num = 0.0, den = 0.0;
   for (std::size_t i = 1; i < procs.size(); ++i) {
-    const double inv_n = 1.0 / static_cast<double>(procs[i]);
-    const double a = times[i].to_us() - t1 * inv_n;
-    const double b = t1 * (1.0 - inv_n);
-    num += a * b;
-    den += b * b;
+    const double ratio = b / static_cast<double>(procs[i]);
+    const double av = times[i].to_us() - tb * ratio;
+    const double bv = tb * (1.0 - ratio);
+    num += av * bv;
+    den += bv * bv;
   }
   r.amdahl_f = den > 0 ? std::clamp(num / den, 0.0, 1.0) : 0.0;
+
+  std::vector<double> ys, yhat;
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    ys.push_back(times[i].to_us());
+    yhat.push_back(tb / r.projected_speedup(procs[i]));
+  }
+  r.amdahl_r2 = util::r_squared(ys, yhat);
   return r;
 }
 
 std::string render_scalability(const ScalabilityReport& r) {
   std::ostringstream os;
+  const double b = static_cast<double>(r.baseline_procs);
   util::Table t({"procs", "time", "speedup", "efficiency %",
                  "Karp-Flatt serial %"});
   std::size_t kf = 0;
   for (std::size_t i = 0; i < r.procs.size(); ++i) {
     std::string serial = "-";
-    if (r.procs[i] > 1)
+    if (r.procs[i] > r.baseline_procs)
       serial = util::Table::fixed(100 * r.serial_fraction[kf++], 2);
     t.add_row({std::to_string(r.procs[i]), r.times[i].str(),
                util::Table::fixed(r.speedups[i], 2),
-               util::Table::fixed(100 * r.speedups[i] / r.procs[i], 1),
+               util::Table::fixed(100 * r.speedups[i] * b / r.procs[i], 1),
                serial});
   }
   os << t.to_text();
+  if (r.baseline_procs != 1)
+    os << "(speedups relative to the n=" << r.baseline_procs
+       << " baseline run)\n";
   os << "\nAmdahl fit: serial fraction "
-     << util::Table::fixed(100 * r.amdahl_f, 2) << "%";
+     << util::Table::fixed(100 * r.amdahl_f, 2) << "% (R2 "
+     << util::Table::fixed(r.amdahl_r2, 3) << ")";
   if (std::isinf(r.max_speedup()))
     os << " (no serial bound detected)";
   else

@@ -5,12 +5,17 @@
 // analytically).  Given predicted times over processor counts, this module
 // computes the classic diagnostics:
 //
-//  * Karp–Flatt experimentally determined serial fraction
-//      f(n) = (1/S(n) - 1/n) / (1 - 1/n)
-//    — growing f(n) indicates overhead growing with n (communication /
-//    synchronization), flat f(n) indicates a genuinely serial component;
-//  * a least-squares Amdahl fit T(n) = T1 (f + (1-f)/n), with projected
-//    speedups for machine sizes that were never simulated.
+//  * Karp–Flatt experimentally determined serial fraction, generalized to
+//    an arbitrary baseline processor count b (the curve's first entry):
+//      f(n) = (1/S(n) - b/n) / (1 - b/n)
+//    where S(n) = T(b)/T(n) is the relative speedup — growing f(n)
+//    indicates overhead growing with n (communication / synchronization),
+//    flat f(n) indicates a genuinely serial component;
+//  * a least-squares Amdahl fit T(n) = T(b) (f + (1-f) b/n), with
+//    projected relative speedups for machine sizes never simulated.
+//
+// With b = 1 both reduce to the textbook forms.  For richer models than
+// Amdahl's single serial fraction, see fit/fit.hpp (PMNF fitting).
 #pragma once
 
 #include <string>
@@ -22,24 +27,29 @@ namespace xp::metrics {
 
 using util::Time;
 
-/// Karp–Flatt metric; n must be > 1 and speedup positive.
-double karp_flatt(double speedup, int n);
+/// Karp–Flatt metric relative to a baseline processor count; needs
+/// n > baseline >= 1 and a positive (relative) speedup.
+double karp_flatt(double speedup, int n, int baseline = 1);
 
 struct ScalabilityReport {
   std::vector<int> procs;
   std::vector<Time> times;
-  std::vector<double> speedups;         ///< vs the first (1-processor) entry
-  std::vector<double> serial_fraction;  ///< Karp–Flatt per n (skips n = 1)
+  int baseline_procs = 1;               ///< procs.front(): speedup reference
+  std::vector<double> speedups;         ///< relative to the first entry
+  std::vector<double> serial_fraction;  ///< Karp–Flatt per n (skips baseline)
   double amdahl_f = 0.0;                ///< fitted serial fraction
+  double amdahl_r2 = 0.0;               ///< R² of the Amdahl fit on times
 
-  /// Amdahl-projected speedup at an arbitrary processor count.
+  /// Amdahl-projected relative speedup (vs the baseline entry) at an
+  /// arbitrary processor count n >= baseline.
   double projected_speedup(int n) const;
-  /// Amdahl's asymptotic speedup bound, 1/f (infinity-safe).
+  /// Amdahl's asymptotic relative-speedup bound, 1/f (infinity-safe).
   double max_speedup() const;
 };
 
-/// Analyze a time curve.  `procs` must start at 1 (the baseline) and be
-/// strictly increasing; `times` must be positive.
+/// Analyze a time curve.  `procs` must be strictly increasing (any
+/// baseline >= 1; the first entry is the speedup reference); `times` must
+/// be positive.
 ScalabilityReport analyze_scalability(const std::vector<int>& procs,
                                       const std::vector<Time>& times);
 

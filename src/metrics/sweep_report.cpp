@@ -38,7 +38,7 @@ SweepReport analyze_sweep(const core::SweepResult& r) {
       s.times.push_back(pred->predicted_time);
       s.ideal_times.push_back(pred->ideal_time);
     }
-    if (s.procs.size() >= 2 && s.procs.front() == 1) {
+    if (s.procs.size() >= 2) {
       s.scalability = analyze_scalability(s.procs, s.times);
       s.has_scalability = true;
     }

@@ -2,8 +2,9 @@
 //
 // A SweepResult is a (label, n_threads) -> Prediction table; this module
 // folds it back into per-label time curves and runs the scalability
-// diagnostics (metrics/scalability.hpp) on every series that contains the
-// 1-processor baseline.  It is the batch-shaped counterpart of
+// diagnostics (metrics/scalability.hpp) on every series with >= 2 points,
+// using the series' smallest processor count as the relative-speedup
+// baseline.  It is the batch-shaped counterpart of
 // analyze_scalability: one call analyzes a machine_shootout-style grid in
 // one pass.
 #pragma once
@@ -22,7 +23,7 @@ struct SweepSeries {
   std::vector<int> procs;          ///< ascending, deduplicated
   std::vector<Time> times;         ///< predicted time per processor count
   std::vector<Time> ideal_times;   ///< zero-cost bound per processor count
-  bool has_scalability = false;    ///< true when procs starts at 1 with >= 2 points
+  bool has_scalability = false;    ///< true when the series has >= 2 points
   ScalabilityReport scalability;   ///< valid iff has_scalability
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/error.hpp"
 
@@ -79,6 +80,46 @@ double geomean(const std::vector<double>& xs) {
   double s = 0.0;
   for (double x : xs) s += std::log(x);
   return std::exp(s / static_cast<double>(xs.size()));
+}
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size());
+}
+
+double l2_norm(const std::vector<double>& xs) {
+  double s = 0.0;
+  for (double x : xs) s += x * x;
+  return std::sqrt(s);
+}
+
+double r_squared(const std::vector<double>& y, const std::vector<double>& yhat) {
+  XP_REQUIRE(y.size() == yhat.size() && !y.empty(),
+             "r_squared needs matching nonempty samples");
+  const double m = mean(y);
+  double rss = 0.0, tss = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    rss += (y[i] - yhat[i]) * (y[i] - yhat[i]);
+    tss += (y[i] - m) * (y[i] - m);
+  }
+  if (tss <= 0.0) return rss <= 0.0 ? 1.0 : 0.0;
+  return 1.0 - rss / tss;
+}
+
+double adjusted_r_squared(double r2, std::size_t m, std::size_t k) {
+  if (m <= k + 1) return -std::numeric_limits<double>::infinity();
+  const double dof = static_cast<double>(m - k - 1);
+  return 1.0 - (1.0 - r2) * static_cast<double>(m - 1) / dof;
 }
 
 }  // namespace xp::util

@@ -53,4 +53,26 @@ class Histogram {
 /// Geometric mean of positive samples (0 if empty).
 double geomean(const std::vector<double>& xs);
 
+// Regression helpers shared by metrics::scalability and xp::fit -----------
+
+/// Arithmetic mean (0 if empty).
+double mean(const std::vector<double>& xs);
+
+/// Population variance around the mean (0 if empty).
+double variance(const std::vector<double>& xs);
+
+/// Euclidean norm; the column-scaling factor for normal-equation solves.
+double l2_norm(const std::vector<double>& xs);
+
+/// Coefficient of determination of predictions `yhat` against data `y`:
+/// 1 - RSS/TSS.  1 for a perfect fit, <= 0 when no better than the mean.
+/// A constant `y` gives 1 when matched exactly and 0 otherwise.
+double r_squared(const std::vector<double>& y, const std::vector<double>& yhat);
+
+/// R² adjusted for model size: 1 - (1-R²)(m-1)/(m-k-1) for m samples and
+/// k fitted parameters beyond the intercept; -infinity when the degrees of
+/// freedom run out (m <= k+1), so exhausted models always lose a
+/// comparison.
+double adjusted_r_squared(double r2, std::size_t m, std::size_t k);
+
 }  // namespace xp::util

@@ -1,0 +1,307 @@
+// xp::fit — solver, PMNF selection, bootstrap, determinism, attribution.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/sweep.hpp"
+#include "fit/fit.hpp"
+#include "fit/phase_fit.hpp"
+#include "fit/pmnf.hpp"
+#include "fit/solver.hpp"
+#include "suite/suite.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace xp::fit {
+namespace {
+
+const std::vector<int> kProcs{1, 2, 4, 8, 16, 32, 64};
+
+std::vector<double> curve_of(const Model& m, const std::vector<int>& procs) {
+  std::vector<double> ys;
+  for (int n : procs) ys.push_back(m.eval(static_cast<double>(n)));
+  return ys;
+}
+
+// --- representation -----------------------------------------------------
+
+TEST(Pmnf, TermEvalAndRender) {
+  const Term lin{1.0, 0};
+  const Term nlog{1.0, 1};
+  const Term inv{-1.0, 0};
+  EXPECT_DOUBLE_EQ(lin.eval(8), 8.0);
+  EXPECT_DOUBLE_EQ(nlog.eval(8), 8.0 * 3.0);
+  EXPECT_DOUBLE_EQ(inv.eval(8), 0.125);
+  EXPECT_DOUBLE_EQ((Term{0.5, 0}.eval(16)), 4.0);
+  EXPECT_EQ(lin.str(), "n^1");
+  EXPECT_EQ(nlog.str(), "n^1*log2(n)^1");
+  EXPECT_EQ((Term{0.0, 2}.str()), "log2(n)^2");
+  EXPECT_EQ(Term{}.str(), "1");
+}
+
+TEST(Pmnf, ModelEvalAndDominantTerm) {
+  Model m;
+  m.terms = {Term{-1.0, 0}, Term{0.0, 1}};
+  m.coeff = {10.0, 8.0, 2.0};
+  EXPECT_DOUBLE_EQ(m.eval(4), 10.0 + 2.0 + 4.0);
+  ASSERT_EQ(m.dominant_term(), 1);  // log2(n) grows; n^-1 decays
+  EXPECT_EQ(m.terms[1].str(), "log2(n)^1");
+  Model flat;
+  flat.terms = {Term{-1.0, 0}};
+  flat.coeff = {10.0, 8.0};
+  EXPECT_EQ(flat.dominant_term(), -1);
+}
+
+TEST(Pmnf, GenerateTermsCanonicalAndComplete) {
+  const auto terms = generate_terms(TermGrid{});
+  // 7 i-exponents x 3 j-exponents minus the excluded (0, 0).
+  EXPECT_EQ(terms.size(), 20u);
+  for (std::size_t k = 1; k < terms.size(); ++k)
+    EXPECT_TRUE(term_less(terms[k - 1], terms[k]));
+  for (const Term& t : terms) EXPECT_FALSE((t == Term{}));
+}
+
+// --- solver -------------------------------------------------------------
+
+TEST(Solver, ExactSystemRecovered) {
+  // y = 2 + 3x over x in {1..4}: overdetermined but consistent.
+  const std::vector<std::vector<double>> cols = {
+      {1, 1, 1, 1}, {1, 2, 3, 4}};
+  const std::vector<double> y = {5, 8, 11, 14};
+  std::vector<double> c;
+  ASSERT_TRUE(least_squares(cols, y, c));
+  EXPECT_NEAR(c[0], 2.0, 1e-10);
+  EXPECT_NEAR(c[1], 3.0, 1e-10);
+}
+
+TEST(Solver, BadlyScaledColumns) {
+  // Columns whose magnitudes differ by ~1e8 — raw normal equations would
+  // lose the small column; the column scaling keeps both.
+  std::vector<std::vector<double>> cols(2);
+  std::vector<double> y;
+  for (int n : kProcs) {
+    cols[0].push_back(1e-4 / n);
+    cols[1].push_back(1e4 * n * n);
+    y.push_back(7.0 * (1e-4 / n) + 3.0 * (1e4 * n * n));
+  }
+  std::vector<double> c;
+  ASSERT_TRUE(least_squares(cols, y, c));
+  EXPECT_NEAR(c[0], 7.0, 1e-4);
+  EXPECT_NEAR(c[1], 3.0, 1e-10);
+}
+
+TEST(Solver, SingularReturnsFalse) {
+  const std::vector<std::vector<double>> dup = {
+      {1, 2, 3, 4}, {2, 4, 6, 8}};  // linearly dependent
+  std::vector<double> c;
+  EXPECT_FALSE(least_squares(dup, {1, 2, 3, 4}, c));
+  const std::vector<std::vector<double>> zero = {{0, 0, 0}};
+  EXPECT_FALSE(least_squares(zero, {1, 2, 3}, c));
+}
+
+// --- selection: coefficient recovery ------------------------------------
+
+TEST(Fit, RecoversKnownModelNoiseless) {
+  Model truth;
+  truth.terms = {Term{1.0, 0}, Term{1.0, 1}};
+  truth.coeff = {5.0, 3.0, 2.0};
+  const FitOptions opt = [] {
+    FitOptions o;
+    o.bootstrap = 0;
+    return o;
+  }();
+  const FitResult r = fit_curve(kProcs, curve_of(truth, kProcs), opt);
+  ASSERT_EQ(r.model.terms.size(), 2u);
+  EXPECT_EQ(r.model.terms[0], truth.terms[0]);
+  EXPECT_EQ(r.model.terms[1], truth.terms[1]);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(r.model.coeff[i], truth.coeff[i],
+                1e-6 * std::abs(truth.coeff[i]) + 1e-9);
+  EXPECT_NEAR(r.eval(128), truth.eval(128), 1e-6 * truth.eval(128));
+  EXPECT_GT(r.r2, 0.999999);
+}
+
+TEST(Fit, PropertyRecoverySyntheticCurves) {
+  // Random PMNF models from a distinguishable term pool must be recovered
+  // from noiseless curves (exact terms, tight coefficients) and
+  // extrapolate within a few percent under 0.2% multiplicative noise.
+  const std::vector<Term> pool = {Term{-1.0, 0}, Term{0.0, 1}, Term{0.0, 2},
+                                  Term{0.5, 0},  Term{1.0, 0}, Term{1.0, 1}};
+  util::Xoshiro256ss rng(2026);
+  FitOptions opt;
+  opt.bootstrap = 0;
+  for (int rep = 0; rep < 12; ++rep) {
+    const std::size_t a = rng.next_below(pool.size());
+    std::size_t b = rng.next_below(pool.size() - 1);
+    if (b >= a) ++b;
+    Model truth;
+    truth.terms = {pool[std::min(a, b)], pool[std::max(a, b)]};
+    truth.coeff = {rng.uniform(5, 50), rng.uniform(1, 10),
+                   rng.uniform(1, 10)};
+    const std::vector<double> clean = curve_of(truth, kProcs);
+
+    const FitResult exact = fit_curve(kProcs, clean, opt);
+    ASSERT_EQ(exact.model.terms.size(), 2u) << "rep " << rep;
+    EXPECT_EQ(exact.model.terms[0], truth.terms[0]) << "rep " << rep;
+    EXPECT_EQ(exact.model.terms[1], truth.terms[1]) << "rep " << rep;
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_NEAR(exact.model.coeff[i], truth.coeff[i],
+                  1e-3 * std::abs(truth.coeff[i]) + 1e-6)
+          << "rep " << rep;
+
+    std::vector<double> noisy = clean;
+    for (double& y : noisy) y *= 1.0 + 0.002 * rng.normal();
+    const FitResult fuzzy = fit_curve(kProcs, noisy, opt);
+    EXPECT_GT(fuzzy.r2, 0.99) << "rep " << rep;
+    const double at128 = truth.eval(128);
+    EXPECT_NEAR(fuzzy.eval(128), at128, 0.15 * at128) << "rep " << rep;
+  }
+}
+
+TEST(Fit, ParsimonyPrefersSimplerModel) {
+  // A pure Amdahl-ish curve c0 + c1/n needs exactly one term; the
+  // two-term candidates cannot beat it by enough to pay the penalty.
+  Model truth;
+  truth.terms = {Term{-1.0, 0}};
+  truth.coeff = {10.0, 1000.0};
+  FitOptions opt;
+  opt.bootstrap = 0;
+  const FitResult r = fit_curve(kProcs, curve_of(truth, kProcs), opt);
+  ASSERT_EQ(r.model.terms.size(), 1u);
+  EXPECT_EQ(r.model.terms[0], truth.terms[0]);
+}
+
+// --- determinism --------------------------------------------------------
+
+TEST(Fit, RepeatedFitsBitwiseIdentical) {
+  Model truth;
+  truth.terms = {Term{0.0, 1}, Term{0.5, 0}};
+  truth.coeff = {20.0, 4.0, 2.5};
+  std::vector<double> ys = curve_of(truth, kProcs);
+  util::Xoshiro256ss rng(7);
+  for (double& y : ys) y *= 1.0 + 0.01 * rng.normal();
+
+  const FitResult a = fit_curve(kProcs, ys);
+  const FitResult b = fit_curve(kProcs, ys);
+  ASSERT_EQ(a.model.terms, b.model.terms);
+  for (std::size_t i = 0; i < a.model.coeff.size(); ++i)
+    EXPECT_EQ(a.model.coeff[i], b.model.coeff[i]);  // bitwise
+  EXPECT_EQ(a.cv_rmse, b.cv_rmse);
+  EXPECT_EQ(a.score, b.score);
+  ASSERT_EQ(a.boot_coeff.size(), b.boot_coeff.size());
+  for (std::size_t r = 0; r < a.boot_coeff.size(); ++r)
+    for (std::size_t i = 0; i < a.boot_coeff[r].size(); ++i)
+      EXPECT_EQ(a.boot_coeff[r][i], b.boot_coeff[r][i]);
+}
+
+TEST(Fit, ShuffledCandidateOrderBitwiseIdentical) {
+  Model truth;
+  truth.terms = {Term{-1.0, 0}, Term{0.0, 1}};
+  truth.coeff = {15.0, 900.0, 6.0};
+  std::vector<double> ys = curve_of(truth, kProcs);
+  util::Xoshiro256ss noise(11);
+  for (double& y : ys) y *= 1.0 + 0.005 * noise.normal();
+
+  const FitOptions opt;
+  const FitResult reference = fit_curve(kProcs, ys, opt);
+  std::vector<Term> candidates = generate_terms(opt.grid);
+  util::Xoshiro256ss rng(99);
+  for (int rep = 0; rep < 5; ++rep) {
+    util::shuffle(candidates, rng);
+    const FitResult r = fit_curve_terms(kProcs, ys, candidates, opt);
+    ASSERT_EQ(r.model.terms, reference.model.terms);
+    for (std::size_t i = 0; i < r.model.coeff.size(); ++i)
+      EXPECT_EQ(r.model.coeff[i], reference.model.coeff[i]);
+    EXPECT_EQ(r.cv_rmse, reference.cv_rmse);
+    ASSERT_EQ(r.ranked.size(), reference.ranked.size());
+    for (std::size_t k = 0; k < r.ranked.size(); ++k)
+      EXPECT_EQ(r.ranked[k].score, reference.ranked[k].score);
+    for (std::size_t b = 0; b < r.boot_coeff.size(); ++b)
+      for (std::size_t i = 0; i < r.boot_coeff[b].size(); ++i)
+        EXPECT_EQ(r.boot_coeff[b][i], reference.boot_coeff[b][i]);
+  }
+}
+
+// --- bootstrap bands ----------------------------------------------------
+
+TEST(Fit, BootstrapBandsBracketTheEstimate) {
+  Model truth;
+  truth.terms = {Term{0.0, 1}};
+  truth.coeff = {50.0, 10.0};
+  std::vector<double> ys = curve_of(truth, kProcs);
+  util::Xoshiro256ss rng(5);
+  for (double& y : ys) y *= 1.0 + 0.01 * rng.normal();
+
+  FitOptions opt;
+  opt.bootstrap = 100;
+  const FitResult r = fit_curve(kProcs, ys, opt);
+  EXPECT_FALSE(r.boot_coeff.empty());
+  for (int n : {16, 64, 256}) {
+    const auto band = r.band(n);
+    EXPECT_LE(band.lo, band.hi);
+    EXPECT_LE(band.lo, r.eval(n) * 1.001 + 1e-9);
+    EXPECT_GE(band.hi, r.eval(n) * 0.999 - 1e-9);
+  }
+  // Disabled bootstrap collapses the band onto the point estimate.
+  opt.bootstrap = 0;
+  const FitResult point = fit_curve(kProcs, ys, opt);
+  const auto pb = point.band(64);
+  EXPECT_EQ(pb.lo, point.eval(64));
+  EXPECT_EQ(pb.hi, point.eval(64));
+}
+
+// --- input validation ---------------------------------------------------
+
+TEST(Fit, ValidatesInput) {
+  EXPECT_THROW(fit_curve({1, 2}, {1.0, 2.0}), util::Error);
+  EXPECT_THROW(fit_curve({1, 2, 2}, {1.0, 2.0, 3.0}), util::Error);
+  EXPECT_THROW(fit_curve({0, 1, 2}, {1.0, 2.0, 3.0}), util::Error);
+  EXPECT_THROW(fit_curve({1, 2, 4}, {1.0, NAN, 3.0}), util::Error);
+}
+
+// --- integration: sweep -> fit -> attribution ---------------------------
+
+TEST(FitIntegration, SweepCurveAndAttribution) {
+  suite::SuiteConfig cfg;
+  cfg.embar_pairs = 1 << 14;
+  core::SweepRunner runner([&cfg] { return suite::make_embar(cfg); });
+  const std::vector<int> procs{1, 2, 4, 8};
+  const core::SweepResult sweep =
+      runner.run_grid(procs, {model::distributed_preset()}, {"embar"});
+
+  const metrics::SweepReport report = metrics::analyze_sweep(sweep);
+  FitOptions opt;
+  opt.bootstrap = 50;
+  const auto fits = fit_sweep(report, opt);
+  ASSERT_EQ(fits.size(), 1u);
+  const FitResult& r = fits.front().second;
+  // Embar is embarrassingly parallel: its predicted curve is essentially
+  // c0 + c1/n plus a small reduction overhead, which PMNF nails.
+  EXPECT_GT(r.r2, 0.99);
+  EXPECT_GT(r.eval(64), 0.0);
+  EXPECT_GT(r.eval(1024), 0.0);
+  const auto band = r.band(64);
+  EXPECT_LE(band.lo, band.hi);
+  EXPECT_FALSE(render_fit(r).empty());
+  // The strong-scaling decay must be in the model: a 1/n (or slower
+  // decay) term with a large positive coefficient.
+  bool has_decay = false;
+  for (const Term& t : r.model.terms) has_decay |= t.i < 0.0;
+  EXPECT_TRUE(has_decay) << r.model.str();
+
+  const PhaseAttribution attr = attribute_sweep(sweep, opt);
+  EXPECT_EQ(attr.procs, procs);
+  ASSERT_EQ(attr.components.size(), 3u);
+  EXPECT_EQ(attr.components[0].name, "compute");
+  EXPECT_FALSE(attr.verdict.empty());
+  EXPECT_FALSE(render_attribution(attr).empty());
+  // Embar ends in a global reduction: remote traffic must be recognized
+  // as growing with n while compute shrinks.
+  const FitResult& remote = attr.components[2].fit;
+  EXPECT_GT(remote.eval(8), remote.eval(1));
+  const FitResult& compute = attr.components[0].fit;
+  EXPECT_LT(compute.eval(8), compute.eval(1));
+}
+
+}  // namespace
+}  // namespace xp::fit

@@ -158,7 +158,7 @@ TEST(Scalability, PerfectScalingHasNoBound) {
 
 TEST(Scalability, ValidatesInput) {
   EXPECT_THROW(analyze_scalability({1}, {util::Time::ms(1)}), util::Error);
-  EXPECT_THROW(analyze_scalability({2, 4}, {util::Time::ms(1),
+  EXPECT_THROW(analyze_scalability({0, 4}, {util::Time::ms(1),
                                             util::Time::ms(1)}),
                util::Error);
   EXPECT_THROW(analyze_scalability({1, 1}, {util::Time::ms(1),
@@ -167,6 +167,38 @@ TEST(Scalability, ValidatesInput) {
   EXPECT_THROW(analyze_scalability({1, 2}, {util::Time::ms(1),
                                             util::Time::zero()}),
                util::Error);
+}
+
+TEST(Scalability, NonUnitBaseline) {
+  // A curve whose smallest count is 2: speedups are relative to that run
+  // and the generalized Karp-Flatt / Amdahl fit recover the same serial
+  // fraction that generated the data.
+  const double f = 0.1, t1 = 1000.0;
+  std::vector<int> procs{2, 4, 8, 16};
+  std::vector<Time> times;
+  for (int n : procs)
+    times.push_back(util::Time::us(t1 * (f + (1 - f) / n)));
+  const ScalabilityReport r = analyze_scalability(procs, times);
+  EXPECT_EQ(r.baseline_procs, 2);
+  EXPECT_NEAR(r.speedups.front(), 1.0, 1e-12);
+  // Relative speedup at n=16 vs n=2 under Amdahl with serial fraction f.
+  const double expect_s =
+      (f + (1 - f) / 2.0) / (f + (1 - f) / 16.0);
+  EXPECT_NEAR(r.speedups.back(), expect_s, 1e-4);
+  EXPECT_NEAR(r.projected_speedup(16), expect_s, 1e-4);
+  EXPECT_GT(r.amdahl_r2, 0.999);
+  // The generalized Karp-Flatt recovers the serial fraction RELATIVE to
+  // the 2-processor run: its parallel part is (1-f)/2 of the 1-proc time.
+  const double f_rel = f / (f + (1 - f) / 2.0);
+  for (double kf : r.serial_fraction) EXPECT_NEAR(kf, f_rel, 1e-4);
+  const std::string out = render_scalability(r);
+  EXPECT_NE(out.find("n=2 baseline"), std::string::npos);
+}
+
+TEST(Scalability, KarpFlattBaselineReducesToClassic) {
+  EXPECT_NEAR(karp_flatt(3.0, 8, 1), karp_flatt(3.0, 8), 1e-15);
+  EXPECT_THROW(karp_flatt(2.0, 4, 4), util::Error);
+  EXPECT_THROW(karp_flatt(2.0, 4, 0), util::Error);
 }
 
 TEST(Scalability, RenderMentionsKeyFigures) {
