@@ -5,7 +5,15 @@
 // performance debugging, unlike detailed architectural simulation.
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <vector>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
 #include "core/extrapolator.hpp"
+#include "core/sweep.hpp"
 #include "core/translate.hpp"
 #include "fiber/scheduler.hpp"
 #include "sim/engine.hpp"
@@ -26,6 +34,41 @@ void BM_EngineScheduleFire(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EngineScheduleFire)->Arg(1000)->Arg(100000);
+
+// Schedule/cancel-heavy: every other scheduled event is cancelled before
+// it can fire, then the survivors run.  Exercises the O(1) tombstone
+// cancel plus the front-of-queue tombstone skip — the pattern the tuner's
+// poll/timeout events produce.
+void BM_EngineScheduleCancel(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  std::vector<sim::EventId> ids(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    sim::Engine e;
+    for (int i = 0; i < batch; ++i)
+      ids[static_cast<std::size_t>(i)] =
+          e.schedule_at(util::Time::ns(i % 1000), [] {});
+    for (int i = 0; i < batch; i += 2)
+      e.cancel(ids[static_cast<std::size_t>(i)]);
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EngineScheduleCancel)->Arg(1000)->Arg(100000);
+
+// Steady-state throughput: one long-lived engine (slabs and bucket
+// capacities warm), a rolling window of pending events.  This is the
+// regime the sweep engine actually runs in — construction cost excluded.
+void BM_EngineSteadyState(benchmark::State& state) {
+  const int batch = 1000;
+  sim::Engine e;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i)
+      e.schedule_at(e.now() + util::Time::ns(i % 1000), [] {});
+    benchmark::DoNotOptimize(e.run());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EngineSteadyState);
 
 void BM_FiberSwitch(benchmark::State& state) {
   for (auto _ : state) {
@@ -97,6 +140,56 @@ void BM_FullPipelineGrid(benchmark::State& state) {
 }
 BENCHMARK(BM_FullPipelineGrid);
 
+// End-to-end what-if sweep: pre-measured traces seeded into a fresh
+// SweepRunner each iteration, then a 2x2 grid (machine presets x thread
+// counts) through the translate-cache -> compiled-trace -> simulator
+// path.  This is the workload the engine overhaul exists to speed up.
+void BM_SweepWhatIf(benchmark::State& state) {
+  suite::SuiteConfig cfg;
+  cfg.grid_blocks = 8;
+  cfg.grid_block_points = 16;
+  cfg.grid_iters = 10;
+  const std::vector<int> procs = {8, 16};
+  std::map<int, trace::Trace> traces;  // measured once, outside the timing
+  for (int n : procs) {
+    auto prog = suite::make_grid(cfg);
+    rt::MeasureOptions mo;
+    mo.n_threads = n;
+    traces.emplace(n, rt::measure(*prog, mo));
+  }
+  const std::vector<model::SimParams> machines = {model::distributed_preset(),
+                                                  model::cm5_preset()};
+  for (auto _ : state) {
+    core::SweepOptions opt;
+    opt.n_workers = 1;
+    core::SweepRunner runner(opt);
+    for (const auto& [n, t] : traces) runner.seed_trace(t);
+    benchmark::DoNotOptimize(runner.run_grid(procs, machines));
+  }
+  state.SetItemsProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(procs.size() * machines.size()));
+}
+BENCHMARK(BM_SweepWhatIf);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+#if defined(__GLIBC__)
+  // The per-iteration engine benchmarks construct and destroy a whole
+  // Engine per iteration, handing its slab and bucket memory back to
+  // malloc each time.  With default tunables glibc trims that memory to
+  // the kernel on every free wave and the next iteration pays it back in
+  // page faults — a harness artifact (real sweeps keep engines alive for
+  // millions of events) that both adds ~30ns/event and tracks kernel
+  // behavior rather than engine behavior.  Pin the thresholds so A/B
+  // engine comparisons measure the engine.
+  mallopt(M_TRIM_THRESHOLD, 256 << 20);
+  mallopt(M_MMAP_THRESHOLD, 64 << 20);
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

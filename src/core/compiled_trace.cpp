@@ -1,0 +1,89 @@
+#include "core/compiled_trace.hpp"
+
+#include "util/error.hpp"
+
+namespace xp::core {
+
+using trace::Event;
+using trace::EventKind;
+
+CompiledTrace CompiledTrace::compile(
+    const std::vector<trace::Trace>& translated) {
+  CompiledTrace ct;
+  ct.n_threads = static_cast<int>(translated.size());
+  ct.threads.resize(translated.size());
+
+  for (std::size_t t = 0; t < translated.size(); ++t) {
+    const std::vector<Event>& events = translated[t].events();
+    CompiledThread& out = ct.threads[t];
+    XP_REQUIRE(!events.empty(), "thread trace is empty");
+    for (const Event& e : events)
+      XP_REQUIRE(e.thread == static_cast<std::int32_t>(t),
+                 "translated trace contains foreign events");
+    out.ops.reserve(events.size());
+    out.pre_delta.reserve(events.size());
+    out.proto.reserve(events.size());
+
+    Time prev;
+    bool first = true;
+    bool done = false;
+    for (std::size_t i = 0; i < events.size() && !done; ++i) {
+      const Event& e = events[i];
+      Time delta = Time::zero();
+      if (first) {
+        first = false;
+      } else {
+        delta = e.time - prev;
+        XP_CHECK(!delta.is_negative(), "translated trace not time-ordered");
+      }
+      prev = e.time;
+      switch (e.kind) {
+        case EventKind::ThreadBegin:
+          out.ops.push_back(OpKind::Begin);
+          break;
+        case EventKind::PhaseBegin:
+        case EventKind::PhaseEnd:
+          out.ops.push_back(OpKind::Phase);
+          break;
+        case EventKind::ThreadEnd:
+          out.ops.push_back(OpKind::End);
+          done = true;  // replay stops here; trailing events never run
+          break;
+        case EventKind::RemoteRead:
+        case EventKind::RemoteWrite: {
+          out.ops.push_back(OpKind::Remote);
+          RemoteRec r;
+          r.object = e.object;
+          r.peer = e.peer;
+          r.declared_bytes = e.declared_bytes;
+          r.actual_bytes = e.actual_bytes;
+          r.is_write = e.kind == EventKind::RemoteWrite;
+          out.remotes.push_back(r);
+          break;
+        }
+        case EventKind::BarrierEntry: {
+          // Fold the paired BarrierExit into this step; the interval after
+          // the barrier is measured from the exit timestamp (the simulator
+          // generates the real exit time itself).
+          XP_CHECK(i + 1 < events.size() &&
+                       events[i + 1].kind == EventKind::BarrierExit,
+                   "BarrierEntry without paired BarrierExit");
+          out.ops.push_back(OpKind::Barrier);
+          out.barrier_ids.push_back(e.barrier_id);
+          prev = events[i + 1].time;
+          ++i;
+          break;
+        }
+        case EventKind::BarrierExit:
+          XP_CHECK(false, "unpaired BarrierExit reached replay");
+          break;
+      }
+      out.pre_delta.push_back(delta);
+      out.proto.push_back(e);
+    }
+    XP_CHECK(done, "replay ran past end of trace");
+  }
+  return ct;
+}
+
+}  // namespace xp::core

@@ -1,0 +1,80 @@
+// Compiled (structure-of-arrays) replay form of a translated trace set.
+//
+// The simulator used to re-walk 40+-byte AoS trace::Event records on every
+// replay step of every simulation; under a sweep the same translated traces
+// are replayed once per grid cell, so the walk cost multiplies by the grid
+// size.  compile() lowers a translated trace set ONCE into flat per-thread
+// arrays the replay loop consumes with index cursors:
+//
+//   ops[i]        what replay step i does (begin/end/remote/barrier/phase),
+//   pre_delta[i]  the unscaled compute interval preceding step i (the
+//                 paper's per-thread computation time, already corrected
+//                 for the barrier-exit rule: the interval after a barrier
+//                 is measured from the BarrierExit timestamp),
+//   remotes[]     packed remote-access records, consumed in order by
+//                 OpKind::Remote steps,
+//   barrier_ids[] the barrier-id run, consumed in order by OpKind::Barrier
+//                 steps (each Barrier step covers the trace's paired
+//                 BarrierEntry + BarrierExit; the simulator generates the
+//                 real exit time itself),
+//   proto[i]      the original event, kept for full-fidelity re-emission
+//                 into the extrapolated output trace (replay decisions
+//                 never read it).
+//
+// All structural validation the simulator used to do lazily during replay
+// (time ordering, barrier pairing, foreign events) happens here, once per
+// TranslateCache entry instead of once per simulation.  A CompiledTrace is
+// immutable after compile() and is shared read-only across all concurrent
+// simulations of a sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace xp::core {
+
+using util::Time;
+
+/// What one replay step does.  Payloads live in the per-kind arrays and are
+/// consumed in order, so the hot loop never touches a full trace::Event.
+enum class OpKind : std::uint8_t {
+  Begin,    ///< ThreadBegin marker
+  End,      ///< ThreadEnd marker; the thread is done after this step
+  Remote,   ///< remote element access; consumes one RemoteRec
+  Barrier,  ///< barrier entry (paired exit folded in); consumes one id
+  Phase,    ///< user phase marker (begin or end)
+};
+
+/// Packed remote-access record: the protocol-relevant fields of a
+/// RemoteRead/RemoteWrite event in 24 bytes.
+struct RemoteRec {
+  std::int64_t object = -1;          ///< global element index
+  std::int32_t peer = -1;            ///< owner thread
+  std::int32_t declared_bytes = 0;   ///< compiler-declared transfer size
+  std::int32_t actual_bytes = 0;     ///< bytes actually moved
+  bool is_write = false;
+};
+
+struct CompiledThread {
+  std::vector<OpKind> ops;
+  std::vector<Time> pre_delta;
+  std::vector<RemoteRec> remotes;
+  std::vector<std::int32_t> barrier_ids;
+  std::vector<trace::Event> proto;  ///< emit templates, aligned with ops
+};
+
+struct CompiledTrace {
+  int n_threads = 0;
+  std::vector<CompiledThread> threads;
+
+  /// Lower a translated trace set (one trace per thread, as produced by
+  /// core::translate) into compiled form.  Throws util::Error on the same
+  /// structural problems the simulator used to detect during replay, with
+  /// the same messages.
+  static CompiledTrace compile(const std::vector<trace::Trace>& translated);
+};
+
+}  // namespace xp::core

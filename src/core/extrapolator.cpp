@@ -10,6 +10,8 @@ TranslatedTrace prepare_trace(const trace::Trace& measured,
   tt.measured_summary = trace::summarize(measured);
   tt.translated = translate(measured, topt);
   tt.ideal_time = ideal_parallel_time(tt.translated);
+  tt.compiled = std::make_shared<const CompiledTrace>(
+      CompiledTrace::compile(tt.translated));
   return tt;
 }
 
@@ -19,7 +21,8 @@ Prediction predict(const TranslatedTrace& prepared, const SimParams& params) {
   p.measured_time = prepared.measured_time;
   p.measured_summary = prepared.measured_summary;
   p.ideal_time = prepared.ideal_time;
-  p.sim = simulate(prepared.translated, params);
+  p.sim = prepared.compiled ? simulate_compiled(*prepared.compiled, params)
+                            : simulate(prepared.translated, params);
   p.predicted_time = p.sim.makespan;
   return p;
 }

@@ -7,6 +7,7 @@
 // core::simulate) for tools that start from a stored trace file.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,10 @@ struct TranslatedTrace {
   Time ideal_time;                  ///< zero-cost n-processor makespan
   trace::Summary measured_summary;  ///< statistics of the measured trace
   std::vector<trace::Trace> translated;  ///< one idealized trace per thread
+  /// SoA replay form, lowered once by prepare_trace() and shared read-only
+  /// by every simulation (predict() falls back to compiling `translated`
+  /// on the fly for hand-built instances where this is null).
+  std::shared_ptr<const CompiledTrace> compiled;
 };
 
 /// Run the measurement-side half of the pipeline (validate + translate).

@@ -1,7 +1,7 @@
 #include "core/simulator.hpp"
 
+#include <array>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <utility>
@@ -20,11 +20,15 @@ namespace {
 using trace::Event;
 using trace::EventKind;
 
+// Inline continuation for CPU activities and network deliveries; shares the
+// engine's inline-callback capacity so nothing on the hot path allocates.
+using Continuation = sim::Engine::Callback;
+
 // One CPU-consuming activity queued on a processor.
 struct CpuItem {
   Time duration;
   bool preemptible = false;  // only compute chunks, only under Interrupt
-  std::function<void()> done;
+  Continuation done;
 };
 
 // A processor's CPU: strictly serial, FIFO, with preemption of compute
@@ -34,7 +38,7 @@ struct Cpu {
   bool cur_preemptible = false;
   Time cur_end;
   sim::EventId cur_completion{};
-  std::function<void()> cur_done;
+  Continuation cur_done;
   std::deque<CpuItem> queue;
 };
 
@@ -50,30 +54,71 @@ struct Msg {
   bool is_write = false;
 };
 
+// Arrivals for barriers this thread has not entered yet.  The release
+// protocol bounds how far ahead a child can run (it cannot reach barrier
+// k+1 until k is globally released), so the number of distinct future
+// barrier ids pending at one parent stays tiny; a fixed flat ring with a
+// linear scan replaces the old std::map<int32_t,int> — allocation-free and
+// branch-predictable.  A slot is free iff its count is zero.
+struct EarlyArrivals {
+  static constexpr int kSlots = 8;
+  std::array<std::int32_t, kSlots> ids{};
+  std::array<std::int32_t, kSlots> counts{};
+
+  void add(std::int32_t barrier_id) {
+    for (int i = 0; i < kSlots; ++i)
+      if (counts[i] > 0 && ids[i] == barrier_id) {
+        ++counts[i];
+        return;
+      }
+    for (int i = 0; i < kSlots; ++i)
+      if (counts[i] == 0) {
+        ids[i] = barrier_id;
+        counts[i] = 1;
+        return;
+      }
+    XP_CHECK(false, "early-arrival ring overflow (too many future barriers)");
+  }
+
+  /// Claim (and clear) the arrivals recorded for `barrier_id`; 0 if none.
+  int take(std::int32_t barrier_id) {
+    for (int i = 0; i < kSlots; ++i)
+      if (counts[i] > 0 && ids[i] == barrier_id) {
+        const int c = counts[i];
+        counts[i] = 0;
+        return c;
+      }
+    return 0;
+  }
+};
+
 struct ThreadCtx {
   int id = 0;
   int proc = 0;
-  const std::vector<Event>* events = nullptr;
-  std::size_t next = 0;
-  Time prev_time;
-  bool first_event = true;
+  const CompiledThread* code = nullptr;
+
+  // Replay cursors into the compiled arrays.
+  std::uint32_t op = 0;
+  std::uint32_t remote = 0;
+  std::uint32_t barrier = 0;
+
   TState state = TState::Start;
 
   // Current barrier bookkeeping (message protocol).
   std::int32_t cur_barrier = -1;
   bool self_arrived = false;
   int children_arrived = 0;
-  std::map<std::int32_t, int> early_arrivals;  // arrivals for future barriers
+  EarlyArrivals early_arrivals;  // arrivals for future barriers
 
   Time wait_start;
 
   // Requests queued while computing (NoInterrupt / Poll policies).
   std::deque<Msg> inbox;
 
-  // Poll chunking of the current computation interval.
+  // Poll chunking of the current computation interval (buffer reused
+  // across events).
   std::vector<Time> chunks;
   std::size_t chunk_idx = 0;
-  std::function<void()> after_compute;
 
   ThreadStats stats;
 };
@@ -85,24 +130,19 @@ struct AnalyticBarrier {
 
 class Simulator {
  public:
-  Simulator(const std::vector<trace::Trace>& translated,
-            const SimParams& params)
+  Simulator(const CompiledTrace& compiled, const SimParams& params)
       : params_(params),
-        n_(static_cast<int>(translated.size())),
+        n_(compiled.n_threads),
         n_procs_(model::effective_procs(params.proc, n_)),
         plan_(model::make_plan(params.barrier.alg, n_)),
         network_(engine_, params.comm, params.network, n_procs_) {
     params_.validate(n_);
     threads_.reserve(static_cast<std::size_t>(n_));
     for (int t = 0; t < n_; ++t) {
-      const trace::Trace& tr = translated[static_cast<std::size_t>(t)];
-      XP_REQUIRE(!tr.empty(), "thread trace is empty");
       auto ctx = std::make_unique<ThreadCtx>();
       ctx->id = t;
       ctx->proc = model::proc_of_thread(params.proc, t, n_);
-      ctx->events = &tr.events();
-      for (const Event& e : tr.events())
-        XP_REQUIRE(e.thread == t, "translated trace contains foreign events");
+      ctx->code = &compiled.threads[static_cast<std::size_t>(t)];
       threads_.push_back(std::move(ctx));
     }
     cpus_.resize(static_cast<std::size_t>(n_procs_));
@@ -139,8 +179,8 @@ class Simulator {
 
   Cpu& cpu(int proc) { return cpus_[static_cast<std::size_t>(proc)]; }
 
-  void cpu_enqueue(int proc, Time dur, bool preemptible,
-                   std::function<void()> done, bool front = false) {
+  void cpu_enqueue(int proc, Time dur, bool preemptible, Continuation done,
+                   bool front = false) {
     CpuItem item{dur, preemptible, std::move(done)};
     if (front)
       cpu(proc).queue.push_front(std::move(item));
@@ -161,7 +201,7 @@ class Simulator {
     c.cur_completion = engine_.schedule_after(item.duration, [this, proc] {
       Cpu& cc = cpu(proc);
       cc.busy = false;
-      auto done = std::move(cc.cur_done);
+      Continuation done = std::move(cc.cur_done);
       cc.cur_done = nullptr;
       if (done) done();
       cpu_pump(proc);
@@ -171,7 +211,7 @@ class Simulator {
   /// Insert `dur`+`done` to run as soon as possible: preempts a running
   /// compute chunk (Interrupt policy), otherwise runs right after the
   /// current non-preemptible activity.
-  void cpu_preempt_insert(int proc, Time dur, std::function<void()> done) {
+  void cpu_preempt_insert(int proc, Time dur, Continuation done) {
     Cpu& c = cpu(proc);
     if (c.busy && c.cur_preemptible) {
       const Time remaining = c.cur_end - engine_.now();
@@ -189,32 +229,23 @@ class Simulator {
     }
   }
 
-  // --- trace replay -------------------------------------------------------
+  // --- compiled-trace replay ----------------------------------------------
 
   ThreadCtx& thr(int id) { return *threads_[static_cast<std::size_t>(id)]; }
 
   void proceed(ThreadCtx& T) {
-    XP_CHECK(T.next < T.events->size(), "replay ran past end of trace");
-    const Event e = (*T.events)[T.next++];
-    Time delta = Time::zero();
-    if (T.first_event) {
-      T.first_event = false;
-    } else {
-      delta = e.time - T.prev_time;
-      XP_CHECK(!delta.is_negative(), "translated trace not time-ordered");
-    }
-    T.prev_time = e.time;
-    const Time scaled = model::scale_compute(params_.proc, delta);
-    start_compute(T, scaled, [this, &T, e] { handle_event(T, e); });
+    XP_CHECK(T.op < T.code->ops.size(), "replay ran past end of trace");
+    const Time scaled =
+        model::scale_compute(params_.proc, T.code->pre_delta[T.op]);
+    start_compute(T, scaled);
   }
 
-  void start_compute(ThreadCtx& T, Time scaled, std::function<void()> cont) {
+  void start_compute(ThreadCtx& T, Time scaled) {
     T.stats.compute += scaled;
-    T.chunks = model::poll_chunks(params_.proc, scaled);
+    model::poll_chunks_into(params_.proc, scaled, T.chunks);
     T.chunk_idx = 0;
-    T.after_compute = std::move(cont);
     if (T.chunks.empty()) {
-      T.after_compute();
+      exec_op(T);
       return;
     }
     run_chunk(T);
@@ -232,7 +263,7 @@ class Simulator {
     ++T.chunk_idx;
     const bool last = T.chunk_idx >= T.chunks.size();
     if (last) {
-      T.after_compute();
+      exec_op(T);
       return;
     }
     // Poll boundary: pay the poll check, service anything queued, continue.
@@ -244,41 +275,32 @@ class Simulator {
     });
   }
 
-  void handle_event(ThreadCtx& T, const Event& e) {
-    switch (e.kind) {
-      case EventKind::ThreadBegin:
-      case EventKind::PhaseBegin:
-      case EventKind::PhaseEnd:
-        emit(T, e);
+  /// The enum-dispatched continuation after a compute interval: execute the
+  /// op the interval led up to, advancing the replay cursors.
+  void exec_op(ThreadCtx& T) {
+    const CompiledThread& code = *T.code;
+    const std::uint32_t i = T.op++;
+    switch (code.ops[i]) {
+      case OpKind::Begin:
+      case OpKind::Phase:
+        emit(T, code.proto[i]);
         proceed(T);
         break;
-      case EventKind::ThreadEnd:
-        emit(T, e);
+      case OpKind::End:
+        emit(T, code.proto[i]);
         T.state = TState::Done;
         T.stats.finish = engine_.now();
         // A finished thread's processor keeps servicing remote requests
         // (§3.3.3); anything queued while it was computing drains now.
         drain_inbox(T);
         break;
-      case EventKind::RemoteRead:
-      case EventKind::RemoteWrite:
-        emit(T, e);
-        begin_remote_access(T, e);
+      case OpKind::Remote:
+        emit(T, code.proto[i]);
+        begin_remote_access(T, code.remotes[T.remote++]);
         break;
-      case EventKind::BarrierEntry: {
-        emit(T, e);
-        // Consume the paired BarrierExit from the trace now; the simulator
-        // generates the real exit time itself.
-        XP_CHECK(T.next < T.events->size() &&
-                     (*T.events)[T.next].kind == EventKind::BarrierExit,
-                 "BarrierEntry without paired BarrierExit");
-        T.prev_time = (*T.events)[T.next].time;
-        ++T.next;
-        begin_barrier(T, e.barrier_id);
-        break;
-      }
-      case EventKind::BarrierExit:
-        XP_CHECK(false, "unpaired BarrierExit reached replay");
+      case OpKind::Barrier:
+        emit(T, code.proto[i]);
+        begin_barrier(T, code.barrier_ids[T.barrier++]);
         break;
     }
   }
@@ -289,9 +311,9 @@ class Simulator {
     return proc / params_.cluster.procs_per_cluster;
   }
 
-  void begin_remote_access(ThreadCtx& T, const Event& e) {
+  void begin_remote_access(ThreadCtx& T, const RemoteRec& rec) {
     ++T.stats.remote_accesses;
-    const ThreadCtx& owner = thr(e.peer);
+    const ThreadCtx& owner = thr(rec.peer);
     if (owner.proc == T.proc) {
       // Same processor (multithreading extension): the element is in local
       // memory — free.
@@ -304,7 +326,7 @@ class Simulator {
       // copy; no messages, no owner involvement.
       ++T.stats.intra_cluster_accesses;
       const std::int64_t bytes = model::reply_payload_bytes(
-          params_.size_mode, e.declared_bytes, e.actual_bytes);
+          params_.size_mode, rec.declared_bytes, rec.actual_bytes);
       const Time cost = params_.cluster.intra_latency +
                         params_.cluster.intra_byte_time *
                             static_cast<double>(bytes);
@@ -312,21 +334,21 @@ class Simulator {
       cpu_enqueue(T.proc, cost, false, [this, &T] { proceed(T); });
       return;
     }
-    const bool is_write = e.kind == EventKind::RemoteWrite;
     const Time send_cpu = net::send_cpu_time(params_.comm);
     T.stats.send_overhead += send_cpu;
     Msg req;
     req.kind = Msg::Kind::Request;
     req.from = T.id;
-    req.to = e.peer;
-    req.declared = e.declared_bytes;
-    req.actual = e.actual_bytes;
-    req.is_write = is_write;
+    req.to = rec.peer;
+    req.declared = rec.declared_bytes;
+    req.actual = rec.actual_bytes;
+    req.is_write = rec.is_write;
     std::int64_t req_bytes = params_.comm.request_bytes;
-    if (is_write)
+    if (rec.is_write)
       // A write request carries the payload to the owner.
-      req_bytes += model::reply_payload_bytes(params_.size_mode, e.declared_bytes,
-                                              e.actual_bytes);
+      req_bytes += model::reply_payload_bytes(params_.size_mode,
+                                              rec.declared_bytes,
+                                              rec.actual_bytes);
     cpu_enqueue(T.proc, send_cpu, false, [this, &T, req, req_bytes] {
       T.state = TState::WaitReply;
       T.wait_start = engine_.now();
@@ -418,11 +440,7 @@ class Simulator {
       if (use_messages()) {
         T.self_arrived = true;
         // Claim arrivals for this barrier that beat us here.
-        auto it = T.early_arrivals.find(T.cur_barrier);
-        if (it != T.early_arrivals.end()) {
-          T.children_arrived += it->second;
-          T.early_arrivals.erase(it);
-        }
+        T.children_arrived += T.early_arrivals.take(T.cur_barrier);
         check_barrier_forward(T);
       } else {
         analytic_arrive(T);
@@ -472,7 +490,7 @@ class Simulator {
         ++P.children_arrived;
         check_barrier_forward(P);
       } else {
-        ++P.early_arrivals[m.barrier_id];
+        P.early_arrivals.add(m.barrier_id);
       }
     });
   }
@@ -597,7 +615,13 @@ Time SimResult::total_barrier_wait() const {
 SimResult simulate(const std::vector<trace::Trace>& translated,
                    const SimParams& params) {
   XP_REQUIRE(!translated.empty(), "no translated traces");
-  Simulator sim(translated, params);
+  return simulate_compiled(CompiledTrace::compile(translated), params);
+}
+
+SimResult simulate_compiled(const CompiledTrace& compiled,
+                            const SimParams& params) {
+  XP_REQUIRE(compiled.n_threads >= 1, "no translated traces");
+  Simulator sim(compiled, params);
   return sim.run();
 }
 

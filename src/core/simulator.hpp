@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/compiled_trace.hpp"
 #include "model/params.hpp"
 #include "trace/trace.hpp"
 #include "util/time.hpp"
@@ -61,7 +62,15 @@ struct SimResult {
 
 /// Run the extrapolation.  `translated` must hold one trace per thread (as
 /// produced by translate()); `params` describes the target environment.
+/// Compiles the traces (core/compiled_trace.hpp) and replays the compiled
+/// form; callers replaying the same traces repeatedly should compile once
+/// and use the overload below.
 SimResult simulate(const std::vector<trace::Trace>& translated,
                    const SimParams& params);
+
+/// Replay an already-compiled trace set.  This is the sweep hot path: one
+/// CompiledTrace is shared read-only by every simulation of a grid.
+SimResult simulate_compiled(const CompiledTrace& compiled,
+                            const SimParams& params);
 
 }  // namespace xp::core

@@ -1,5 +1,7 @@
 #include "core/tuner.hpp"
 
+#include <utility>
+
 #include "util/error.hpp"
 
 namespace xp::core {
@@ -15,6 +17,13 @@ const std::vector<Time>& default_poll_intervals() {
 PollTuneResult tune_poll_interval(const std::vector<trace::Trace>& translated,
                                   SimParams params,
                                   const std::vector<Time>& candidates) {
+  return tune_poll_interval(CompiledTrace::compile(translated),
+                            std::move(params), candidates);
+}
+
+PollTuneResult tune_poll_interval(const CompiledTrace& compiled,
+                                  SimParams params,
+                                  const std::vector<Time>& candidates) {
   XP_REQUIRE(!candidates.empty(), "no poll intervals to try");
   params.proc.policy = model::ServicePolicy::Poll;
   PollTuneResult out;
@@ -22,7 +31,7 @@ PollTuneResult tune_poll_interval(const std::vector<trace::Trace>& translated,
   for (const Time& iv : candidates) {
     XP_REQUIRE(iv > Time::zero(), "poll interval must be positive");
     params.proc.poll_interval = iv;
-    const Time t = simulate(translated, params).makespan;
+    const Time t = simulate_compiled(compiled, params).makespan;
     out.tried.emplace_back(iv, t);
     if (t < out.best_time) {
       out.best_time = t;
@@ -35,16 +44,23 @@ PollTuneResult tune_poll_interval(const std::vector<trace::Trace>& translated,
 PolicyChoice choose_service_policy(
     const std::vector<trace::Trace>& translated, SimParams params,
     const std::vector<Time>& poll_candidates) {
+  return choose_service_policy(CompiledTrace::compile(translated),
+                               std::move(params), poll_candidates);
+}
+
+PolicyChoice choose_service_policy(
+    const CompiledTrace& compiled, SimParams params,
+    const std::vector<Time>& poll_candidates) {
   PolicyChoice c;
 
   params.proc.policy = model::ServicePolicy::NoInterrupt;
-  c.no_interrupt_time = simulate(translated, params).makespan;
+  c.no_interrupt_time = simulate_compiled(compiled, params).makespan;
 
   params.proc.policy = model::ServicePolicy::Interrupt;
-  c.interrupt_time = simulate(translated, params).makespan;
+  c.interrupt_time = simulate_compiled(compiled, params).makespan;
 
   const PollTuneResult poll =
-      tune_poll_interval(translated, params, poll_candidates);
+      tune_poll_interval(compiled, params, poll_candidates);
   c.poll_time = poll.best_time;
 
   c.policy = model::ServicePolicy::NoInterrupt;

@@ -27,9 +27,13 @@ struct PollTuneResult {
 const std::vector<Time>& default_poll_intervals();
 
 /// Find the polling interval minimizing predicted execution time.
-/// `params.proc.policy` is forced to Poll for each trial.
+/// `params.proc.policy` is forced to Poll for each trial.  The trace-set
+/// overload compiles once and re-simulates the compiled form per candidate.
 PollTuneResult tune_poll_interval(
     const std::vector<trace::Trace>& translated, SimParams params,
+    const std::vector<Time>& candidates = default_poll_intervals());
+PollTuneResult tune_poll_interval(
+    const CompiledTrace& compiled, SimParams params,
     const std::vector<Time>& candidates = default_poll_intervals());
 
 struct PolicyChoice {
@@ -45,6 +49,9 @@ struct PolicyChoice {
 /// return the best configuration for this program/environment.
 PolicyChoice choose_service_policy(
     const std::vector<trace::Trace>& translated, SimParams params,
+    const std::vector<Time>& poll_candidates = default_poll_intervals());
+PolicyChoice choose_service_policy(
+    const CompiledTrace& compiled, SimParams params,
     const std::vector<Time>& poll_candidates = default_poll_intervals());
 
 }  // namespace xp::core

@@ -10,12 +10,19 @@ Time scale_compute(const ProcessorParams& p, Time measured) {
 }
 
 std::vector<Time> poll_chunks(const ProcessorParams& p, Time scaled) {
-  XP_REQUIRE(!scaled.is_negative(), "negative computation interval");
   std::vector<Time> out;
-  if (scaled.is_zero()) return out;
+  poll_chunks_into(p, scaled, out);
+  return out;
+}
+
+void poll_chunks_into(const ProcessorParams& p, Time scaled,
+                      std::vector<Time>& out) {
+  XP_REQUIRE(!scaled.is_negative(), "negative computation interval");
+  out.clear();
+  if (scaled.is_zero()) return;
   if (p.policy != ServicePolicy::Poll) {
     out.push_back(scaled);
-    return out;
+    return;
   }
   Time left = scaled;
   while (left > p.poll_interval) {
@@ -23,7 +30,6 @@ std::vector<Time> poll_chunks(const ProcessorParams& p, Time scaled) {
     left -= p.poll_interval;
   }
   out.push_back(left);
-  return out;
 }
 
 int effective_procs(const ProcessorParams& p, int n_threads) {

@@ -22,6 +22,11 @@ Time scale_compute(const ProcessorParams& p, Time measured);
 /// Zero-length intervals return an empty vector.
 std::vector<Time> poll_chunks(const ProcessorParams& p, Time scaled);
 
+/// Same chunking into a caller-owned buffer (cleared first), so the
+/// simulator's per-event hot path reuses one allocation per thread.
+void poll_chunks_into(const ProcessorParams& p, Time scaled,
+                      std::vector<Time>& out);
+
 /// Thread -> processor assignment for the multithreading extension:
 /// round-robin over the effective processor count.
 int proc_of_thread(const ProcessorParams& p, int thread, int n_threads);

@@ -14,13 +14,13 @@ Network::Network(sim::Engine& engine, const CommParams& comm,
       contention_(params.contention, topo_) {}
 
 void Network::send(int src, int dst, std::int64_t bytes,
-                   std::function<void()> on_delivery) {
+                   DeliveryFn on_delivery) {
   const Time wire = preview_wire(src, dst, bytes);
   contention_.inject();
   ++messages_;
   bytes_ += bytes;
   wire_stat_.add(wire.to_us());
-  engine_.schedule_after(wire, [this, cb = std::move(on_delivery)] {
+  engine_.schedule_after(wire, [this, cb = std::move(on_delivery)]() mutable {
     contention_.deliver();
     cb();
   });

@@ -9,12 +9,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/contention.hpp"
 #include "net/message_cost.hpp"
 #include "net/topology.hpp"
 #include "sim/engine.hpp"
+#include "util/inplace_function.hpp"
 #include "util/stats.hpp"
 
 namespace xp::net {
@@ -26,13 +26,19 @@ struct NetworkParams {
 
 class Network {
  public:
+  /// Delivery continuation, stored inline (no allocation per message).
+  /// Sized so the engine-side wrapper — a Network* plus this object —
+  /// still fits the engine's inline callback buffer exactly.
+  static constexpr std::size_t kDeliveryCaptureBytes =
+      sim::Engine::kInlineCallbackBytes - sizeof(void*) - 2 * sizeof(void*);
+  using DeliveryFn = util::InplaceFunction<void(), kDeliveryCaptureBytes>;
+
   Network(sim::Engine& engine, const CommParams& comm,
           const NetworkParams& params, int n_procs);
 
   /// Inject a message of `bytes` at the current simulation time; the
   /// callback runs at the delivery instant.
-  void send(int src, int dst, std::int64_t bytes,
-            std::function<void()> on_delivery);
+  void send(int src, int dst, std::int64_t bytes, DeliveryFn on_delivery);
 
   /// Wire time a message would see if injected right now (no injection).
   Time preview_wire(int src, int dst, std::int64_t bytes) const;

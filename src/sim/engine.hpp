@@ -4,37 +4,102 @@
 // simulator (core/) and the direct-execution machine simulator (machine/).
 // Events are ordered by (time, insertion sequence); equal-time events fire
 // in scheduling order, so runs are bit-for-bit reproducible.
+//
+// Hot-path design: a monotone radix calendar queue.  Simulated time never
+// goes backwards (schedule_at requires t >= now()), which admits a radix
+// bucket structure instead of a comparison heap: events are binned by the
+// highest base-16 digit in which their time differs from the engine's
+// current radix base.  Scheduling is O(1) (one digit computation + one
+// append), and firing is amortized O(1): when the front bucket drains, the
+// lowest nonempty bucket is redistributed, and every redistribution moves
+// an event to a strictly lower bucket, so each event is touched at most
+// once per digit level.  There is no per-event allocation: callbacks live
+// inline (util::InplaceFunction) in a block-stable slab, bucket vectors
+// recycle their capacity, and firing an event never does a hash lookup.
+//
+// Determinism argument: all pending times t satisfy t >= base, and a
+// bucket index is a pure function of t (given the base), so equal-time
+// events always share a bucket.  Appends happen in sequence order and
+// redistribution is a stable partition, therefore equal-time events stay
+// in insertion order in every bucket forever — FIFO among ties without
+// ever comparing sequence numbers.  The front bucket holds exactly the
+// events with t == base, popped left to right.
+//
+// Cancellation is O(1): the event's slot is invalidated (its callback is
+// destroyed immediately) and its queue entry becomes a tombstone that is
+// skipped at the front and purged wholesale once tombstones outnumber
+// live events — pending() shrinks on cancel and memory stays bounded by
+// O(live), fixing the old lazy-cancellation leak where cancelled entries
+// lingered until their deadline was popped.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "util/error.hpp"
+#include "util/inplace_function.hpp"
 #include "util/time.hpp"
 
 namespace xp::sim {
 
 using util::Time;
 
-/// Handle for cancelling a scheduled event.
+/// Handle for cancelling a scheduled event.  `seq` is the globally unique
+/// insertion sequence (0 = invalid); `slot` indexes the engine's slot table
+/// and is validated against `seq` on use, so stale handles are harmless.
 struct EventId {
   std::uint64_t seq = 0;
+  std::uint32_t slot = 0;
   bool valid() const { return seq != 0; }
 };
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  /// Inline storage per event callback; captures beyond this are a compile
+  /// error (see util/inplace_function.hpp).
+  static constexpr std::size_t kInlineCallbackBytes = 64;
+  using Callback = util::InplaceFunction<void(), kInlineCallbackBytes>;
 
-  /// Schedule `cb` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, Callback cb);
-  /// Schedule `cb` after a delay from now (delay must be >= 0).
-  EventId schedule_after(Time delay, Callback cb);
+  /// Schedule a callable at absolute time `t` (must be >= now()).  The
+  /// callable is constructed directly in the engine's slab — passing a
+  /// lambda never materializes a temporary type-erased wrapper.
+  template <class F>
+  EventId schedule_at(Time t, F&& f) {
+    XP_REQUIRE(t >= now_, "cannot schedule into the past");
+    const std::uint64_t seq = next_seq_++;
+    const std::uint32_t slot = acquire_slot();
+    meta_[slot].seq = seq;
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
+      XP_REQUIRE(static_cast<bool>(f), "null event callback");
+      cb_at(slot) = std::forward<F>(f);
+    } else {
+      cb_at(slot).emplace(std::forward<F>(f));
+    }
+    Key k;
+    k.t = static_cast<std::uint64_t>(t.count_ns());
+    k.seq = seq;
+    k.slot = slot;
+    push_key(k);
+    ++live_;
+    return EventId{seq, slot};
+  }
 
-  /// Cancel a pending event.  Returns false if it already fired or was
-  /// cancelled.
+  /// Schedule a callable after a delay from now (delay must be >= 0).
+  template <class F>
+  EventId schedule_after(Time delay, F&& f) {
+    XP_REQUIRE(!delay.is_negative(), "negative delay");
+    return schedule_at(now_ + delay, std::forward<F>(f));
+  }
+
+  /// Cancel a pending event in O(1): its callback is destroyed immediately
+  /// and its queue entry tombstoned (purged in bulk, amortized O(1)).
+  /// Returns false — a checked no-op — if `id` is invalid (default-
+  /// constructed) or the event already fired or was cancelled.
   bool cancel(EventId id);
 
   Time now() const { return now_; }
@@ -45,30 +110,119 @@ class Engine {
   /// machine simulator to interleave event processing with fiber execution.
   bool step_one() { return step(); }
   /// Run until the queue drains or simulated time would exceed `limit`
-  /// (events after `limit` stay queued).
+  /// (events after `limit` stay queued; events at exactly `limit` fire).
   std::uint64_t run_until(Time limit);
 
-  bool empty() const { return callbacks_.empty(); }
-  std::size_t pending() const { return callbacks_.size(); }
+  bool empty() const { return live_ == 0; }
+  /// Live (schedulable) events only; cancellation shrinks this immediately.
+  std::size_t pending() const { return live_; }
   std::uint64_t fired() const { return fired_; }
 
  private:
-  struct QEntry {
-    Time t;
-    std::uint64_t seq;
-    bool operator>(const QEntry& o) const {
-      if (t != o.t) return t > o.t;
-      return seq > o.seq;
-    }
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  // Hybrid radix: a byte-wide level 0 (bits 0-7, 255 nonzero digits) under
+  // base-16 upper levels (bits 8-63, 14 levels x 15 nonzero digits each).
+  // Bucket index order == priority order.  The wide bottom level keeps the
+  // redistribution cascade short for fine-grained timestamps, and a level-0
+  // bucket holds exactly ONE timestamp (all higher digits match base_, the
+  // low byte is the digit), so refilling from level 0 is a vector swap —
+  // no min scan, no per-event redistribution.
+  static constexpr int kL0Bits = 8;
+  static constexpr int kL0Buckets = (1 << kL0Bits) - 1;  // 255
+  static constexpr int kDigitBits = 4;
+  static constexpr int kDigitMask = 15;
+  static constexpr int kDigitsPerLevel = 15;
+  static constexpr int kLevels = (64 - kL0Bits) / kDigitBits;  // 14
+  static constexpr int kBuckets =
+      kL0Buckets + kLevels * kDigitsPerLevel;  // excl. front
+  static constexpr int kMaskWords = (kBuckets + 63) / 64;
+
+  // Queue entry: trivially copyable, moved wholesale during redistribution.
+  struct Key {
+    std::uint64_t t = 0;    // event time (ns; >= 0 by the schedule contract)
+    std::uint64_t seq = 0;  // insertion sequence; tombstone check vs slot
+    std::uint32_t slot = 0;
   };
 
-  bool step();  // fire one event; false if queue empty
+  /// Per-slot bookkeeping.  `seq` doubles as a generation/liveness check
+  /// (0 = free or cancelled); freed slots chain through `next_free`.
+  struct SlotMeta {
+    std::uint64_t seq = 0;
+    std::uint32_t next_free = kNoSlot;
+  };
+
+  // Callback slab: fixed-size blocks so entries never move on growth (a
+  // vector<Callback> would move-construct every element through its manage
+  // pointer on each reallocation).  Addressed as [slot >> kBlockShift]
+  // [slot & kBlockMask]; blocks are recycled through the slot free list.
+  static constexpr std::size_t kBlockShift = 8;  // 256 callbacks per block
+  static constexpr std::size_t kBlockMask = (1u << kBlockShift) - 1;
+
+  Callback& cb_at(std::uint32_t slot) {
+    return cb_blocks_[slot >> kBlockShift][slot & kBlockMask];
+  }
+
+  // Bucket index for time t relative to base_; -1 means the front bucket
+  // (t == base_).  For t != base_ the highest differing digit of t is
+  // necessarily greater than base_'s digit there (t > base_ and all higher
+  // digits agree), so d >= 1 always.
+  int bucket_of(std::uint64_t t) const {
+    const std::uint64_t x = t ^ base_;
+    if (x == 0) return -1;
+    const int h = 63 - __builtin_clzll(x);
+    if (h < kL0Bits)  // differs only in the low byte: level-0 digit
+      return static_cast<int>(t & 0xff) - 1;
+    const int level = (h - kL0Bits) >> 2;
+    const int d = static_cast<int>(
+        (t >> (kL0Bits + level * kDigitBits)) & kDigitMask);
+    return kL0Buckets + level * kDigitsPerLevel + d - 1;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ == kNoSlot) grow_slots();
+    const std::uint32_t s = free_head_;
+    free_head_ = meta_[s].next_free;
+    return s;
+  }
+
+  using KeyVec = std::vector<Key>;
+
+  // Bin `k` relative to base_ (front bucket for t == base_).
+  void push_key(const Key& k) {
+    const int b = bucket_of(k.t);
+    KeyVec& v = b < 0 ? front_ : buckets_[static_cast<std::size_t>(b)];
+    // Skip the tiny-capacity doubling steps: dozens of buckets each
+    // growing 1->2->4->... is hundreds of small reallocations per run.
+    if (v.size() == v.capacity() && v.capacity() < 64) v.reserve(64);
+    v.push_back(k);
+    if (b >= 0)
+      mask_[static_cast<std::size_t>(b) >> 6] |= std::uint64_t{1}
+                                                 << (b & 63);
+  }
+
+  void grow_slots();                // add a callback block + free slots
+  void release_slot(std::uint32_t slot);
+  void refill_front();              // redistribute lowest nonempty bucket
+  bool advance_to_live();           // make front_[cur_] a live event
+  void fire_front();                // fire front_[cur_] (must be live)
+  void compact();                   // purge all tombstones
+  bool step();                      // fire one event; false if queue empty
 
   Time now_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t fired_ = 0;
-  std::priority_queue<QEntry, std::vector<QEntry>, std::greater<QEntry>> queue_;
-  std::unordered_map<std::uint64_t, Callback> callbacks_;
+  std::size_t live_ = 0;   // schedulable events
+  std::size_t dead_ = 0;   // tombstones still buffered
+  std::uint64_t base_ = 0; // radix base: time of the current front bucket
+
+  KeyVec front_;                     // events with t == base_
+  std::size_t cur_ = 0;              // front_ read cursor
+  std::array<KeyVec, kBuckets> buckets_;
+  std::array<std::uint64_t, kMaskWords> mask_{};  // nonempty-bucket bits
+
+  std::vector<SlotMeta> meta_;  // indexed by slot
+  std::vector<std::unique_ptr<Callback[]>> cb_blocks_;
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace xp::sim

@@ -1,0 +1,135 @@
+// Small-buffer, non-allocating, move-only callable wrapper.
+//
+// The discrete-event engine stores one callback per scheduled event; with
+// std::function that is a heap allocation per event (simulation callbacks
+// capture 20-60 bytes, far past the libstdc++ SSO threshold), multiplied by
+// (events x sweep grid cells).  InplaceFunction keeps the callable inline in
+// a fixed Capacity-byte buffer and refuses — at compile time — anything that
+// does not fit, so scheduling an event never touches the allocator.
+//
+// Differences from std::function, all deliberate:
+//   * move-only (no copy; event callbacks are consumed exactly once),
+//   * no allocation fallback (oversized captures are a compile error, not a
+//     silent heap hit),
+//   * callables must be nothrow-move-constructible (moves happen inside
+//     container operations that must not throw mid-transfer),
+//   * trivially copyable callables (lambdas capturing pointers/ints — the
+//     common case) carry no manage function: reset() is two stores and a
+//     move is a raw buffer copy.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace xp::util {
+
+template <class Sig, std::size_t Capacity = 64,
+          std::size_t Align = alignof(void*)>
+class InplaceFunction;  // undefined; only the R(Args...) partial below exists
+
+template <class R, class... Args, std::size_t Capacity, std::size_t Align>
+class InplaceFunction<R(Args...), Capacity, Align> {
+ public:
+  InplaceFunction() = default;
+  InplaceFunction(std::nullptr_t) {}
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InplaceFunction(F&& f) {
+    emplace(std::forward<F>(f));
+  }
+
+  /// Destroy the current callable (if any) and construct `f` directly in
+  /// the inline buffer — no temporary, no type-erased move.
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<
+                !std::is_same_v<D, InplaceFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  void emplace(F&& f) {
+    static_assert(sizeof(D) <= Capacity,
+                  "callable too large for the InplaceFunction buffer — "
+                  "shrink the capture or raise Capacity");
+    static_assert(alignof(D) <= Align,
+                  "callable over-aligned for the InplaceFunction buffer");
+    static_assert(std::is_nothrow_move_constructible_v<D>,
+                  "InplaceFunction callables must be nothrow-movable");
+    reset();
+    ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    invoke_ = [](void* b, Args&&... a) -> R {
+      return (*static_cast<D*>(b))(std::forward<Args>(a)...);
+    };
+    if constexpr (std::is_trivially_copyable_v<D>) {
+      // Trivial callables (the common case: lambdas capturing pointers and
+      // ints) need no destroy/move machinery — manage_ stays null, reset()
+      // is two stores, and moves degrade to a raw buffer copy.
+      manage_ = nullptr;
+    } else {
+      manage_ = [](void* dst, void* src) {
+        if (src) {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        } else {
+          static_cast<D*>(dst)->~D();
+        }
+      };
+    }
+  }
+
+  InplaceFunction(InplaceFunction&& o) noexcept { move_from(o); }
+  InplaceFunction& operator=(InplaceFunction&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InplaceFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  InplaceFunction(const InplaceFunction&) = delete;
+  InplaceFunction& operator=(const InplaceFunction&) = delete;
+  ~InplaceFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... a) {
+    return invoke_(buf_, std::forward<Args>(a)...);
+  }
+
+  /// Destroy the held callable (no-op if empty).
+  void reset() {
+    if (manage_) manage_(buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+ private:
+  // Steal o's callable; *this must be empty.  o is left empty.
+  void move_from(InplaceFunction& o) noexcept {
+    invoke_ = o.invoke_;
+    manage_ = o.manage_;
+    if (manage_)
+      manage_(buf_, o.buf_);
+    else if (invoke_)
+      std::memcpy(buf_, o.buf_, Capacity);  // trivially copyable callable
+    o.invoke_ = nullptr;
+    o.manage_ = nullptr;
+  }
+
+  using InvokeFn = R (*)(void*, Args&&...);
+  // manage(dst, src): src != null -> move-construct dst from src and destroy
+  // src; src == null -> destroy dst.  One pointer covers both operations.
+  using ManageFn = void (*)(void*, void*);
+
+  alignas(Align) std::byte buf_[Capacity];
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace xp::util

@@ -124,6 +124,32 @@ TEST(Engine, CountersTrackActivity) {
   EXPECT_TRUE(e.empty());
 }
 
+TEST(Engine, CancelShrinksPendingImmediately) {
+  // Regression: the old lazy-cancellation scheme left cancelled entries in
+  // the queue (and their callbacks alive) until their deadline was popped;
+  // pending() must now shrink at cancel time.
+  Engine e;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(e.schedule_at(Time::us(1000 + i), [] {}));
+  EXPECT_EQ(e.pending(), 100u);
+  for (int i = 0; i < 100; i += 2) e.cancel(ids[static_cast<std::size_t>(i)]);
+  EXPECT_EQ(e.pending(), 50u);
+  EXPECT_EQ(e.run(), 50u);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, CancelInvalidIdIsCheckedNoOp) {
+  Engine e;
+  EXPECT_FALSE(e.cancel(EventId{}));  // default-constructed handle
+  EXPECT_FALSE(e.cancel(EventId{.seq = 12345, .slot = 7}));  // never issued
+  e.schedule_at(Time::us(1), [] {});
+  EXPECT_FALSE(e.cancel(EventId{.seq = 999, .slot = 100000}));  // bad slot
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_EQ(e.run(), 1u);
+}
+
 TEST(Engine, RejectsNullCallback) {
   Engine e;
   EXPECT_THROW(e.schedule_at(Time::us(1), Engine::Callback{}), util::Error);
