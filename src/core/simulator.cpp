@@ -59,16 +59,27 @@ struct Msg {
 // k+1 until k is globally released), so the number of distinct future
 // barrier ids pending at one parent stays tiny; a fixed flat ring with a
 // linear scan replaces the old std::map<int32_t,int> — allocation-free and
-// branch-predictable.  A slot is free iff its count is zero.
+// branch-predictable.  A slot is free iff its count is zero.  If a trace's
+// barrier-id scheme ever exceeds the ring (the old map was unbounded),
+// excess ids spill to a vector instead of aborting; the ring stays the
+// fast path and the spill is never touched under the release protocol.
 struct EarlyArrivals {
   static constexpr int kSlots = 8;
   std::array<std::int32_t, kSlots> ids{};
   std::array<std::int32_t, kSlots> counts{};
+  std::vector<std::pair<std::int32_t, int>> spill;
 
   void add(std::int32_t barrier_id) {
     for (int i = 0; i < kSlots; ++i)
       if (counts[i] > 0 && ids[i] == barrier_id) {
         ++counts[i];
+        return;
+      }
+    // An id already in the spill must stay there (one counter per id),
+    // even if a ring slot has freed up since it overflowed.
+    for (auto& [id, count] : spill)
+      if (id == barrier_id) {
+        ++count;
         return;
       }
     for (int i = 0; i < kSlots; ++i)
@@ -77,7 +88,7 @@ struct EarlyArrivals {
         counts[i] = 1;
         return;
       }
-    XP_CHECK(false, "early-arrival ring overflow (too many future barriers)");
+    spill.emplace_back(barrier_id, 1);
   }
 
   /// Claim (and clear) the arrivals recorded for `barrier_id`; 0 if none.
@@ -86,6 +97,12 @@ struct EarlyArrivals {
       if (counts[i] > 0 && ids[i] == barrier_id) {
         const int c = counts[i];
         counts[i] = 0;
+        return c;
+      }
+    for (auto it = spill.begin(); it != spill.end(); ++it)
+      if (it->first == barrier_id) {
+        const int c = it->second;
+        spill.erase(it);
         return c;
       }
     return 0;

@@ -25,6 +25,12 @@
 // ever comparing sequence numbers.  The front bucket holds exactly the
 // events with t == base, popped left to right.
 //
+// One wrinkle: run_until(limit) may advance base past limit (to the next
+// pending event's time) without firing, leaving base > now().  Scheduling
+// at t with now() <= t < base is still legal; it triggers a rebase — every
+// pending entry is re-binned against the new, lower base (O(pending), but
+// only the run_until-then-schedule-earlier pattern reaches it).
+//
 // Cancellation is O(1): the event's slot is invalidated (its callback is
 // destroyed immediately) and its queue entry becomes a tombstone that is
 // skipped at the front and purged wholesale once tombstones outnumber
@@ -70,16 +76,18 @@ class Engine {
   /// lambda never materializes a temporary type-erased wrapper.
   template <class F>
   EventId schedule_at(Time t, F&& f) {
+    // Validate everything before acquire_slot() so a failed precondition
+    // never leaks a slot marked in-use.
     XP_REQUIRE(t >= now_, "cannot schedule into the past");
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>)
+      XP_REQUIRE(static_cast<bool>(f), "null event callback");
     const std::uint64_t seq = next_seq_++;
     const std::uint32_t slot = acquire_slot();
     meta_[slot].seq = seq;
-    if constexpr (std::is_same_v<std::decay_t<F>, Callback>) {
-      XP_REQUIRE(static_cast<bool>(f), "null event callback");
+    if constexpr (std::is_same_v<std::decay_t<F>, Callback>)
       cb_at(slot) = std::forward<F>(f);
-    } else {
+    else
       cb_at(slot).emplace(std::forward<F>(f));
-    }
     Key k;
     k.t = static_cast<std::uint64_t>(t.count_ns());
     k.seq = seq;
@@ -187,8 +195,13 @@ class Engine {
 
   using KeyVec = std::vector<Key>;
 
-  // Bin `k` relative to base_ (front bucket for t == base_).
+  // Bin `k` relative to base_ (front bucket for t == base_).  A key below
+  // base_ (legal after run_until advanced base_ past its limit) first
+  // rebases the whole queue so every stored bucket index stays a pure
+  // function of (t, base_) — binning it against the stale higher base
+  // would corrupt priority order.
   void push_key(const Key& k) {
+    if (k.t < base_) rebase(k.t);
     const int b = bucket_of(k.t);
     KeyVec& v = b < 0 ? front_ : buckets_[static_cast<std::size_t>(b)];
     // Skip the tiny-capacity doubling steps: dozens of buckets each
@@ -202,6 +215,7 @@ class Engine {
 
   void grow_slots();                // add a callback block + free slots
   void release_slot(std::uint32_t slot);
+  void rebase(std::uint64_t new_base);  // re-bin everything, lower base_
   void refill_front();              // redistribute lowest nonempty bucket
   bool advance_to_live();           // make front_[cur_] a live event
   void fire_front();                // fire front_[cur_] (must be live)

@@ -15,7 +15,9 @@
 //     container operations that must not throw mid-transfer),
 //   * trivially copyable callables (lambdas capturing pointers/ints — the
 //     common case) carry no manage function: reset() is two stores and a
-//     move is a raw buffer copy.
+//     move is a raw buffer copy,
+//   * calling an empty InplaceFunction throws xp::util::Error (where
+//     std::function threw bad_function_call) — a checked failure, not UB.
 #pragma once
 
 #include <cstddef>
@@ -23,6 +25,8 @@
 #include <new>
 #include <type_traits>
 #include <utility>
+
+#include "util/error.hpp"
 
 namespace xp::util {
 
@@ -99,6 +103,9 @@ class InplaceFunction<R(Args...), Capacity, Align> {
   explicit operator bool() const { return invoke_ != nullptr; }
 
   R operator()(Args... a) {
+    // Checked failure (like std::function's bad_function_call), kept out
+    // of line so the hot path stays a test + indirect call.
+    if (invoke_ == nullptr) empty_call_error();
     return invoke_(buf_, std::forward<Args>(a)...);
   }
 
@@ -110,6 +117,10 @@ class InplaceFunction<R(Args...), Capacity, Align> {
   }
 
  private:
+  [[noreturn]] [[gnu::noinline]] static void empty_call_error() {
+    fail("call of empty InplaceFunction", __FILE__, __LINE__);
+  }
+
   // Steal o's callable; *this must be empty.  o is left empty.
   void move_from(InplaceFunction& o) noexcept {
     invoke_ = o.invoke_;
