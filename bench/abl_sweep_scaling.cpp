@@ -1,13 +1,21 @@
 // abl_sweep_scaling — wall-clock scaling of the parallel sweep engine.
 //
-// The claim under test (core/sweep.hpp): once the per-thread-count traces
-// are measured and translated, the simulations of a what-if grid are
-// independent and fan out across a thread pool with near-linear speedup.
-// This harness times the SAME 16-point grid (4 machine parameter sets x
-// 4 processor counts) through SweepRunner at increasing worker counts,
-// from identical pre-seeded caches, and reports wall-clock speedup over
-// the 1-worker (sequential) run — plus a bitwise check that every worker
-// count produced the identical predictions.
+// Two claims under test (core/sweep.hpp):
+//
+//  1. Warm cache: once the per-thread-count traces are measured and
+//     translated, the simulations of a what-if grid are independent and
+//     fan out across a thread pool with near-linear speedup.
+//  2. Cold cache: the pre-warm stage fans the (measure -> translate ->
+//     compile) jobs of all distinct thread counts across the same pool,
+//     so END-TO-END sweeps scale too — previously the measurements ran
+//     sequentially on the caller thread and flattened the curve.
+//
+// Both sections time the SAME 32-point grid (4 machine parameter sets x
+// 8 processor counts) through SweepRunner at increasing worker counts and
+// report wall-clock speedup over the 1-worker run, plus a bitwise check
+// that every worker count produced identical predictions.  The e2e rows
+// carry the per-stage breakdown (measure / translate / simulate) that
+// scripts/bench_json.sh distills into BENCH_sim.json.
 #include <chrono>
 #include <iostream>
 
@@ -40,15 +48,16 @@ std::string fingerprint(const core::SweepResult& r) {
 int main() {
   std::cout << "=== sweep scaling: parallel vs sequential what-if grids ===\n";
   const std::string bench = "grid";
-  const std::vector<int> procs = {4, 8, 16, 32};
+  const std::vector<int> procs = {4, 8, 12, 16, 20, 24, 28, 32};
   const std::vector<model::SimParams> machines = {
       model::distributed_preset(), model::cm5_preset(),
       model::paragon_preset(), model::sp1_preset()};
   const std::vector<std::string> labels = {"distributed", "cm5", "paragon",
                                            "sp1"};
+  const std::size_t grid_points = procs.size() * machines.size();
 
-  // Measure once, up front, so every timed run starts from the same warm
-  // cache and the timings isolate the simulation fan-out.
+  // Measure once, up front, so every warm-cache run starts from the same
+  // seeded cache and those timings isolate the simulation fan-out.
   auto t0 = std::chrono::steady_clock::now();
   std::map<int, trace::Trace> traces;
   for (int n : procs) {
@@ -61,7 +70,7 @@ int main() {
   std::cout << "measured " << traces.size() << " traces of '" << bench
             << "' in " << std::fixed;
   std::cout.precision(2);
-  std::cout << measure_s << " s (done once, shared by every run)\n\n";
+  std::cout << measure_s << " s (done once, shared by every warm run)\n\n";
 
   const int hw = util::ThreadPool::default_workers();
   std::vector<int> worker_counts = {1, 2, 4};
@@ -72,6 +81,7 @@ int main() {
   double seq_best = 0.0;
   std::string seq_fp;
   bool all_match = true;
+  std::cout << "-- warm cache (simulation fan-out only) --\n";
   std::cout << "  workers      best of " << reps << "      speedup   grid\n";
   for (int workers : worker_counts) {
     double best = 1e30;
@@ -94,21 +104,69 @@ int main() {
     }
     if (fp != seq_fp) all_match = false;
     std::printf("  %7d   %9.3f s   %8.2fx   %zu points%s\n", workers, best,
-                seq_best / best, procs.size() * machines.size(),
+                seq_best / best, grid_points,
                 fp == seq_fp ? "" : "   !! PREDICTIONS DIFFER");
+  }
+
+  // Cold cache: a fresh runner with a ProgramFactory, so every run pays
+  // the full measure -> translate -> compile -> simulate pipeline.  The
+  // pre-warm stage fans the 8 distinct measurements over the pool.
+  const int e2e_reps = 2;  // measurements dominate; two reps bound the noise
+  std::map<int, double> e2e_best_s;
+  double e2e_seq_best = 0.0;
+  std::string e2e_seq_fp;
+  bool e2e_all_match = true;
+  std::cout << "\n-- cold cache (end-to-end: measure + translate + simulate) "
+               "--\n";
+  std::cout << "  workers        total     measure   translate    simulate   "
+               "speedup\n";
+  for (int workers : worker_counts) {
+    double best = 1e30;
+    core::SweepStages stages;
+    std::string fp;
+    for (int r = 0; r < e2e_reps; ++r) {
+      core::SweepOptions opt;
+      opt.n_workers = workers;
+      core::SweepRunner runner([&] { return suite::make_by_name(bench); },
+                               opt);
+      t0 = std::chrono::steady_clock::now();
+      const core::SweepResult result = runner.run_grid(procs, machines, labels);
+      const double s = seconds_since(t0);
+      if (s < best) {
+        best = s;
+        stages = result.stages;
+      }
+      fp = fingerprint(result);
+    }
+    e2e_best_s[workers] = best;
+    if (workers == 1) {
+      e2e_seq_best = best;
+      e2e_seq_fp = fp;
+    }
+    if (fp != e2e_seq_fp) e2e_all_match = false;
+    std::printf("  e2e %3d   %8.3f s  %8.3f s  %8.3f s  %8.3f s  %7.2fx%s\n",
+                workers, best, stages.measure_s, stages.translate_s,
+                stages.simulate_wall_s, e2e_seq_best / best,
+                fp == e2e_seq_fp ? "" : "   !! PREDICTIONS DIFFER");
   }
 
   std::cout << '\n';
   if (hw >= 2) {
     bench::shape_check("4 workers give >= 2x wall-clock speedup on the "
-                       "16-point grid",
+                       "warm 32-point grid",
                        seq_best / best_s.at(4) >= 2.0);
+    bench::shape_check("4 workers give >= 2x end-to-end speedup on the "
+                       "cold 32-point grid (pre-warmed measurements)",
+                       e2e_seq_best / e2e_best_s.at(4) >= 2.0);
   } else {
     std::cout << "  [n/a ] this host exposes 1 CPU; parallel speedup is "
-                 "bounded at 1.0x (run on >= 2 cores for the >= 2x check)\n";
+                 "bounded at 1.0x (run on >= 2 cores for the >= 2x checks)\n";
   }
   bench::shape_check("every worker count produced bitwise-identical "
-                     "predictions",
+                     "predictions (warm cache)",
                      all_match);
+  bench::shape_check("every worker count produced bitwise-identical "
+                     "predictions (cold cache)",
+                     e2e_all_match);
   return 0;
 }

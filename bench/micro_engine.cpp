@@ -70,9 +70,9 @@ void BM_EngineSteadyState(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineSteadyState);
 
-void BM_FiberSwitch(benchmark::State& state) {
+void fiber_switch_loop(benchmark::State& state, fiber::Backend backend) {
   for (auto _ : state) {
-    fiber::Scheduler s;
+    fiber::Scheduler s(backend);
     const int yields = 1000;
     for (int f = 0; f < 2; ++f)
       s.spawn([&s] {
@@ -82,7 +82,21 @@ void BM_FiberSwitch(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * 1000 * 2);
 }
+
+void BM_FiberSwitch(benchmark::State& state) {
+  fiber_switch_loop(state, fiber::Backend::Auto);
+}
 BENCHMARK(BM_FiberSwitch);
+
+// The portable-backend floor, always measured with the ucontext backend
+// regardless of the process default.  The bench JSON gate compares
+// BM_FiberSwitch against this within-run number (fcontext must clear 2x
+// even on hosts whose absolute timings drifted from the committed
+// baseline); swapcontext's sigprocmask round trip dominates it.
+void BM_FiberSwitchUcontext(benchmark::State& state) {
+  fiber_switch_loop(state, fiber::Backend::Ucontext);
+}
+BENCHMARK(BM_FiberSwitchUcontext);
 
 suite::SuiteConfig micro_cfg() {
   suite::SuiteConfig cfg;

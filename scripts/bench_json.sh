@@ -60,7 +60,8 @@ for b in data.get("benchmarks", []):
     entry["ns_per_iteration"] = min(
         entry.get("ns_per_iteration", float("inf")), b["real_time"])
 
-# Sweep harness: grab "workers ... best of N" rows -> seconds per grid.
+# Sweep harness: grab the warm-cache "workers ... best of N" rows and the
+# cold-cache "e2e N: total/measure/translate/simulate" breakdown rows.
 sweep = {}
 with open(sweep_log) as f:
     for line in f:
@@ -69,6 +70,18 @@ with open(sweep_log) as f:
             sweep[f"sweep_grid_workers_{m.group(1)}"] = {
                 "seconds": float(m.group(2)),
                 "speedup_vs_sequential": float(m.group(3)),
+            }
+            continue
+        m = re.match(
+            r"\s*e2e\s+(\d+)\s+([0-9.]+) s\s+([0-9.]+) s\s+([0-9.]+) s"
+            r"\s+([0-9.]+) s\s+([0-9.]+)x", line)
+        if m:
+            sweep[f"sweep_e2e_workers_{m.group(1)}"] = {
+                "seconds": float(m.group(2)),
+                "measure_seconds": float(m.group(3)),
+                "translate_seconds": float(m.group(4)),
+                "simulate_seconds": float(m.group(5)),
+                "speedup_vs_sequential": float(m.group(6)),
             }
 
 out = {
@@ -106,4 +119,40 @@ with open("BENCH_sim.json", "w") as f:
     f.write("\n")
 print("wrote BENCH_sim.json "
       f"({len(best)} micro benchmarks, {len(sweep)} sweep rows)")
+
+# Regression gate for the fcontext fiber backend.  Primary check: the
+# within-run ratio of BM_FiberSwitch (process-default backend, fcontext
+# where ported) over BM_FiberSwitchUcontext must clear 2x — both numbers
+# come from the same host and run, so absolute drift from the committed
+# baseline cannot mask a backend regression.  On targets without an
+# fcontext port both benchmarks time the same backend, so the gate is
+# skipped when the ratio is ~1 AND the baseline comparison (if present)
+# did not regress.  XP_BENCH_NO_GATE=1 disables the gate for exploratory
+# runs.
+import os
+if os.environ.get("XP_BENCH_NO_GATE"):
+    print("fiber gate: skipped (XP_BENCH_NO_GATE set)")
+    sys.exit(0)
+fs = best.get("BM_FiberSwitch", {}).get("items_per_second")
+uc = best.get("BM_FiberSwitchUcontext", {}).get("items_per_second")
+if not fs or not uc:
+    print("fiber gate: skipped (BM_FiberSwitch rows missing)")
+    sys.exit(0)
+ratio = fs / uc
+if ratio >= 2.0:
+    print(f"fiber gate: OK (fcontext {ratio:.1f}x ucontext within-run)")
+    sys.exit(0)
+if ratio >= 0.85:
+    # Same-backend build (no fcontext port, or XP_FIBER_UCONTEXT default):
+    # fall back to the committed baseline to catch absolute regressions.
+    base = out.get("baseline", {}).get("benchmarks", {}).get(
+        "BM_FiberSwitch", {}).get("items_per_second")
+    if base and fs >= 0.7 * base:
+        print(f"fiber gate: OK (single-backend build, {fs:.3g} items/s "
+              f"vs baseline {base:.3g})")
+        sys.exit(0)
+print(f"fiber gate: FAIL — BM_FiberSwitch is {ratio:.2f}x "
+      "BM_FiberSwitchUcontext (need >= 2x; set XP_BENCH_NO_GATE=1 to "
+      "override)", file=sys.stderr)
+sys.exit(1)
 PY

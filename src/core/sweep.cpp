@@ -1,5 +1,7 @@
 #include "core/sweep.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <exception>
 #include <utility>
 
@@ -8,6 +10,16 @@
 #include "util/thread_pool.hpp"
 
 namespace xp::core {
+
+// Tripwire for the cache-key contract: TranslateOptions currently holds
+// {bool remove_event_overhead; Time event_overhead_override} and the hash
+// below mixes both.  If this assert fires you added (or resized) a field —
+// mix it into TranslateKeyHash too, or equal-hash lookups can serve stale
+// translations for options that differ only in the unmixed field.
+static_assert(sizeof(TranslateOptions) == 16,
+              "TranslateOptions layout changed: update TranslateKeyHash "
+              "(and tests/sweep_test.cpp hash-audit cases), then adjust "
+              "this size check");
 
 std::size_t TranslateKeyHash::operator()(const TranslateKey& k) const {
   // FNV-1a over the key fields; collisions only cost a bucket walk.
@@ -111,15 +123,17 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
   const std::uint64_t hits0 = cache_->hits();
   const std::uint64_t misses0 = cache_->misses();
 
-  // Resolve every distinct thread count up front, in first-appearance
-  // order.  Measurement replays the whole program under the fiber package,
-  // so it stays on this thread; only the per-point simulations fan out.
-  std::vector<std::shared_ptr<const TranslatedTrace>> prepared(grid.size());
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    TranslateKey key;
-    key.n_threads = grid[i].n_threads;
-    key.topt = opt_.translate;
-    prepared[i] = cache_->get_or_prepare(key, [this](int n) {
+  using Clock = std::chrono::steady_clock;
+  const auto secs = [](Clock::duration d) {
+    return std::chrono::duration<double>(d).count();
+  };
+
+  // The measurement for a cache miss (each Scheduler is confined to the OS
+  // thread that runs it, so concurrent measurements on pool workers are
+  // safe).  `measure_s` reports how much of a pre-warm job was program
+  // measurement, so translate+compile time can be attributed separately.
+  const auto measure_fn = [this, secs](double* measure_s) {
+    return [this, secs, measure_s](int n) {
       XP_REQUIRE(factory_ != nullptr,
                  "sweep needs a ProgramFactory or a seed_trace() covering "
                  "n_threads=" +
@@ -129,8 +143,86 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
       rt::MeasureOptions mo;
       mo.n_threads = n;
       mo.host = opt_.host;
-      return rt::measure(*prog, mo);
+      const auto t0 = Clock::now();
+      trace::Trace t = rt::measure(*prog, mo);
+      if (measure_s) *measure_s = secs(Clock::now() - t0);
+      return t;
+    };
+  };
+
+  const int n_workers =
+      opt_.n_workers > 0 ? opt_.n_workers : util::ThreadPool::default_workers();
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto keep_first_error = [&] {
+    std::lock_guard<std::mutex> lock(err_mu);
+    if (!first_error) first_error = std::current_exception();
+  };
+
+  util::ThreadPool pool(n_workers);
+
+  // Pre-warm: one (measure -> translate -> compile) job per distinct thread
+  // count, fanned across the pool before any cell simulates.  Largest
+  // thread counts go first (LPT): measurement cost grows with n, so
+  // starting the big ones earliest minimizes the stage's makespan.
+  struct PrewarmJob {
+    TranslateKey key;
+    std::size_t first_grid_index = 0;  ///< first cell using this key
+    std::shared_ptr<const TranslatedTrace> result;
+    double measure_s = 0;
+    double total_s = 0;
+  };
+  std::vector<PrewarmJob> jobs;
+  std::unordered_map<TranslateKey, std::size_t, TranslateKeyHash> job_of_key;
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    TranslateKey key;
+    key.n_threads = grid[i].n_threads;
+    key.topt = opt_.translate;
+    if (job_of_key.emplace(key, jobs.size()).second)
+      jobs.push_back(PrewarmJob{key, i, nullptr, 0, 0});
+  }
+  std::vector<std::size_t> prewarm_order(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) prewarm_order[j] = j;
+  std::stable_sort(prewarm_order.begin(), prewarm_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].key.n_threads > jobs[b].key.n_threads;
+                   });
+
+  const auto prewarm0 = Clock::now();
+  for (std::size_t j : prewarm_order) {
+    pool.submit([&, j] {
+      PrewarmJob& job = jobs[j];
+      const auto t0 = Clock::now();
+      try {
+        job.result = cache_->get_or_prepare(job.key,
+                                            measure_fn(&job.measure_s));
+      } catch (...) {
+        keep_first_error();
+      }
+      job.total_s = secs(Clock::now() - t0);
     });
+  }
+  pool.wait();
+  out.stages.prewarm_wall_s = secs(Clock::now() - prewarm0);
+  for (const PrewarmJob& job : jobs) {
+    out.stages.measure_s += job.measure_s;
+    out.stages.translate_s += job.total_s - job.measure_s;
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  // Resolve each cell's trace.  The first cell of every key consumes its
+  // pre-warm result directly; duplicates go through the cache (and count as
+  // hits), preserving the pre-pre-warm accounting: hits + misses over a
+  // sweep always equals the grid size.
+  std::vector<std::shared_ptr<const TranslatedTrace>> prepared(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    TranslateKey key;
+    key.n_threads = grid[i].n_threads;
+    key.topt = opt_.translate;
+    const PrewarmJob& job = jobs[job_of_key.at(key)];
+    prepared[i] = job.first_grid_index == i
+                      ? job.result
+                      : cache_->get_or_prepare(key, measure_fn(nullptr));
   }
 
   std::vector<std::size_t> order = opt_.submit_order;
@@ -148,28 +240,21 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
     }
   }
 
-  const int n_workers =
-      opt_.n_workers > 0 ? opt_.n_workers : util::ThreadPool::default_workers();
-
-  // Fan the simulations out.  Each task writes only its own grid slot, so
-  // completion order is irrelevant to the result; the first exception is
-  // kept and rethrown once the batch has drained.
-  std::mutex err_mu;
-  std::exception_ptr first_error;
-  {
-    util::ThreadPool pool(n_workers);
-    for (std::size_t i : order) {
-      pool.submit([&, i] {
-        try {
-          out.predictions[i] = predict(*prepared[i], grid[i].params);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-      });
-    }
-    pool.wait();
+  // Fan the simulations out on the same pool.  Each task writes only its
+  // own grid slot, so completion order is irrelevant to the result; the
+  // first exception is kept and rethrown once the batch has drained.
+  const auto sim0 = Clock::now();
+  for (std::size_t i : order) {
+    pool.submit([&, i] {
+      try {
+        out.predictions[i] = predict(*prepared[i], grid[i].params);
+      } catch (...) {
+        keep_first_error();
+      }
+    });
   }
+  pool.wait();
+  out.stages.simulate_wall_s = secs(Clock::now() - sim0);
   if (first_error) std::rethrow_exception(first_error);
 
   out.cache_hits = cache_->hits() - hits0;

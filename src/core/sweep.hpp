@@ -10,8 +10,13 @@
 //
 // SweepRunner exploits that split.  It measures each distinct thread count
 // ONCE, memoizes the translated traces in a TranslateCache keyed on
-// (n_threads, TranslateOptions), and fans the independent simulations of
-// the grid out over a util::ThreadPool.
+// (n_threads, TranslateOptions), and fans BOTH halves out over one
+// util::ThreadPool: a pre-warm stage runs the independent
+// measure->translate->compile jobs of all distinct thread counts
+// concurrently (largest first, so the longest measurement starts earliest),
+// then the per-cell simulations fan out once their traces are ready.
+// Schedulers are strictly per-OS-thread (fiber/scheduler.hpp), so one
+// measurement per worker is safe.
 //
 // Determinism guarantee: results land in SweepResult::predictions by GRID
 // INDEX, never by completion order, and the simulator itself is a
@@ -94,11 +99,22 @@ struct SweepPoint {
   std::string label;  ///< free-form series tag (machine name, hypothesis, …)
 };
 
+/// Per-stage timing of one sweep, for the scaling benchmarks.  measure_s
+/// and translate_s are CPU-side sums across pre-warm jobs (they overlap on
+/// the pool); the *_wall_s fields are elapsed wall time of each stage.
+struct SweepStages {
+  double measure_s = 0;        ///< summed program measurement seconds
+  double translate_s = 0;      ///< summed translate + compile seconds
+  double prewarm_wall_s = 0;   ///< wall time of the measure/translate stage
+  double simulate_wall_s = 0;  ///< wall time of the simulation fan-out
+};
+
 struct SweepResult {
   std::vector<SweepPoint> grid;         ///< the request, verbatim
   std::vector<Prediction> predictions;  ///< by grid index
   std::uint64_t cache_hits = 0;    ///< sweep-wide translate-cache hits
   std::uint64_t cache_misses = 0;  ///< = distinct (n_threads, topt) keys
+  SweepStages stages;              ///< where this sweep's time went
 };
 
 struct SweepOptions {

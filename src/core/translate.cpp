@@ -45,16 +45,23 @@ std::vector<trace::Trace> translate(const trace::Trace& measured,
     if (flush_every <= 0 || i < 0) return 0;
     return (i + 1) / flush_every;
   };
-  // Per-thread list of global (recording-order) event indices.
-  std::vector<std::vector<std::int64_t>> gidx(static_cast<std::size_t>(n));
-  if (flush_every > 0) {
-    std::int64_t i = 0;
-    for (const trace::Event& e : measured.events())
-      gidx[static_cast<std::size_t>(e.thread)].push_back(i++);
-  }
 
-  std::vector<trace::Trace> parts = measured.split_by_thread();
-  for (auto& p : parts) p.set_meta("translated", "1");
+  // Zero-copy per-thread views of the measured trace; the merged-order
+  // position of each event doubles as its global recording index (the
+  // tracer emits events in recording order and ties stay in that order),
+  // which the flush-removal arithmetic needs.
+  const std::vector<trace::ThreadView> views = measured.split_views();
+
+  std::vector<trace::Trace> parts;
+  parts.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    trace::Trace part(n);
+    for (const auto& [k, v] : measured.all_meta()) part.set_meta(k, v);
+    part.set_meta("thread", std::to_string(t));
+    part.set_meta("translated", "1");
+    part.reserve(views[static_cast<std::size_t>(t)].size());
+    parts.push_back(std::move(part));
+  }
 
   // Per-thread cursors.
   struct Cursor {
@@ -66,20 +73,16 @@ std::vector<trace::Trace> translate(const trace::Trace& measured,
   };
   std::vector<Cursor> cur(static_cast<std::size_t>(n));
 
-  auto global_index = [&](int t, std::size_t idx) -> std::int64_t {
-    if (flush_every <= 0) return 0;
-    return gidx[static_cast<std::size_t>(t)][idx];
-  };
-
   // Translate one thread's events up to (and including) the next
-  // BarrierEntry, or to the end if none remains.  Returns the index of the
-  // entry event, or npos.
-  auto advance_to_entry = [&](int t) -> std::size_t {
+  // BarrierEntry, appending translated copies to the output part.  Returns
+  // false if the thread's stream is exhausted without another entry.
+  auto advance_to_entry = [&](int t) -> bool {
     Cursor& c = cur[static_cast<std::size_t>(t)];
-    auto& evs = parts[static_cast<std::size_t>(t)].mutable_events();
-    while (c.idx < evs.size()) {
-      trace::Event& e = evs[c.idx];
-      const std::int64_t g = global_index(t, c.idx);
+    const trace::ThreadView& view = views[static_cast<std::size_t>(t)];
+    auto& out = parts[static_cast<std::size_t>(t)].mutable_events();
+    while (c.idx < view.size()) {
+      trace::Event e = view[c.idx];
+      const auto g = static_cast<std::int64_t>(view.merged_index(c.idx));
       if (c.first) {
         c.first = false;
         c.prev_measured = e.time;
@@ -97,21 +100,20 @@ std::vector<trace::Trace> translate(const trace::Trace& measured,
       c.prev_gidx = g;
       e.time = c.clock;
       const bool is_entry = e.kind == trace::EventKind::BarrierEntry;
+      out.push_back(e);
       ++c.idx;
-      if (is_entry) return c.idx - 1;
+      if (is_entry) return true;
     }
-    return static_cast<std::size_t>(-1);
+    return false;
   };
 
   // validate() guarantees every thread passes the same barrier sequence, so
   // we can process barrier instances in lockstep.
   for (;;) {
-    std::vector<std::size_t> entry_idx(static_cast<std::size_t>(n));
     int entries_found = 0;
     Time release = Time::zero();
     for (int t = 0; t < n; ++t) {
-      entry_idx[static_cast<std::size_t>(t)] = advance_to_entry(t);
-      if (entry_idx[static_cast<std::size_t>(t)] != static_cast<std::size_t>(-1)) {
+      if (advance_to_entry(t)) {
         ++entries_found;
         release = util::max(release, cur[static_cast<std::size_t>(t)].clock);
       }
@@ -124,15 +126,17 @@ std::vector<trace::Trace> translate(const trace::Trace& measured,
     // to the latest entry (threads leave as soon as the last one arrives).
     for (int t = 0; t < n; ++t) {
       Cursor& c = cur[static_cast<std::size_t>(t)];
-      auto& evs = parts[static_cast<std::size_t>(t)].mutable_events();
-      XP_CHECK(c.idx < evs.size(), "BarrierEntry without following event");
-      trace::Event& exit = evs[c.idx];
+      const trace::ThreadView& view = views[static_cast<std::size_t>(t)];
+      auto& out = parts[static_cast<std::size_t>(t)].mutable_events();
+      XP_CHECK(c.idx < view.size(), "BarrierEntry without following event");
+      trace::Event exit = view[c.idx];
       XP_CHECK(exit.kind == trace::EventKind::BarrierExit,
                "BarrierEntry not followed by BarrierExit in thread stream");
       c.prev_measured = exit.time;
-      c.prev_gidx = global_index(t, c.idx);
+      c.prev_gidx = static_cast<std::int64_t>(view.merged_index(c.idx));
       c.clock = release;
       exit.time = release;
+      out.push_back(exit);
       ++c.idx;
     }
   }

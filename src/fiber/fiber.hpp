@@ -9,6 +9,10 @@
 //
 // Control always passes fiber -> scheduler -> fiber (never fiber -> fiber),
 // which keeps the scheduler logic trivial and the switch points auditable.
+//
+// Two context-switch backends exist behind this API (fiber/context.hpp):
+// the fcontext-style assembly switch on pooled mmap'd stacks (default
+// where ported) and the portable ucontext fallback/oracle.
 #pragma once
 
 #include <ucontext.h>
@@ -19,6 +23,9 @@
 #include <memory>
 #include <string>
 #include <vector>
+
+#include "fiber/context.hpp"
+#include "fiber/stack_pool.hpp"
 
 namespace xp::fiber {
 
@@ -33,7 +40,9 @@ class Fiber {
  public:
   static constexpr std::size_t kDefaultStackBytes = 256 * 1024;
 
-  Fiber(int id, std::function<void()> body, std::size_t stack_bytes);
+  Fiber(int id, std::function<void()> body, std::size_t stack_bytes,
+        Backend backend);
+  ~Fiber();
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
@@ -43,14 +52,30 @@ class Fiber {
  private:
   friend class Scheduler;
 
+  /// Drop the execution context once the fiber can never run again
+  /// (finished, or torn down): returns the pooled stack, destroys the
+  /// sanitizer fiber.  Idempotent.
+  void release_context();
+
   int id_;
+  Backend backend_;
   FiberState state_ = FiberState::Ready;
   std::function<void()> body_;
-  std::unique_ptr<char[]> stack_;
   std::size_t stack_bytes_;
+
+  // Fcontext backend: pooled stack acquired lazily at the first switch-in,
+  // released as soon as the fiber finishes; sp_ is the saved stack pointer
+  // while the fiber is switched out.
+  StackSpan stack_{};
+  void* sp_ = nullptr;
+
+  // Ucontext backend: heap stack + full ucontext.
+  std::unique_ptr<char[]> ustack_;
   ucontext_t ctx_{};
+
   bool started_ = false;
   std::exception_ptr error_;
+  void* tsan_fiber_ = nullptr;
 };
 
 }  // namespace xp::fiber

@@ -6,7 +6,7 @@ namespace xp::fiber {
 
 thread_local Scheduler* Scheduler::launching_ = nullptr;
 
-Scheduler::Scheduler() = default;
+Scheduler::Scheduler(Backend backend) : backend_(resolve_backend(backend)) {}
 
 Scheduler::~Scheduler() = default;
 
@@ -14,7 +14,8 @@ int Scheduler::spawn(std::function<void()> body, std::size_t stack_bytes) {
   XP_REQUIRE(!running_ || current_ >= 0,
              "spawn() from scheduler internals is not supported");
   const int id = static_cast<int>(fibers_.size());
-  fibers_.push_back(std::make_unique<Fiber>(id, std::move(body), stack_bytes));
+  fibers_.push_back(
+      std::make_unique<Fiber>(id, std::move(body), stack_bytes, backend_));
   ready_.push_back(id);
   return id;
 }
@@ -47,17 +48,37 @@ void Scheduler::trampoline() {
 void Scheduler::switch_to(Fiber& f) {
   current_ = f.id();
   f.state_ = FiberState::Running;
-  if (!f.started_) {
-    f.started_ = true;
-    XP_CHECK(getcontext(&f.ctx_) == 0, "getcontext failed");
-    f.ctx_.uc_stack.ss_sp = f.stack_.get();
-    f.ctx_.uc_stack.ss_size = f.stack_bytes_;
-    f.ctx_.uc_link = &main_ctx_;  // safety net; normal exit goes via trampoline
-    makecontext(&f.ctx_, &Scheduler::trampoline, 0);
-    launching_ = this;
+  if (backend_ == Backend::Fcontext) {
+    if (!f.started_) {
+      f.started_ = true;
+      f.stack_ = stack_acquire(f.stack_bytes_);
+      f.sp_ = make_fcontext_frame(f.stack_.top, &Scheduler::trampoline);
+#if defined(XP_TSAN_FIBERS)
+      f.tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+      launching_ = this;
+    }
+#if defined(XP_TSAN_FIBERS)
+    if (!main_tsan_fiber_) main_tsan_fiber_ = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(f.tsan_fiber_, 0);
+#endif
+    xp_fcontext_swap(&main_sp_, f.sp_);
+  } else {
+    if (!f.started_) {
+      f.started_ = true;
+      XP_CHECK(getcontext(&f.ctx_) == 0, "getcontext failed");
+      f.ctx_.uc_stack.ss_sp = f.ustack_.get();
+      f.ctx_.uc_stack.ss_size = f.stack_bytes_;
+      f.ctx_.uc_link = &main_ctx_;  // safety net; normal exit goes via trampoline
+      makecontext(&f.ctx_, &Scheduler::trampoline, 0);
+      launching_ = this;
+    }
+    XP_CHECK(swapcontext(&main_ctx_, &f.ctx_) == 0, "swapcontext failed");
   }
-  XP_CHECK(swapcontext(&main_ctx_, &f.ctx_) == 0, "swapcontext failed");
   current_ = -1;
+  // A Finished fiber can never run again; hand its stack back to the pool
+  // immediately so the next spawned fiber reuses it.
+  if (f.state_ == FiberState::Finished) f.release_context();
   if (f.error_) {
     auto err = f.error_;
     f.error_ = nullptr;
@@ -68,7 +89,14 @@ void Scheduler::switch_to(Fiber& f) {
 void Scheduler::return_to_scheduler(FiberState new_state) {
   Fiber& self = *fibers_[static_cast<std::size_t>(current_)];
   self.state_ = new_state;
-  XP_CHECK(swapcontext(&self.ctx_, &main_ctx_) == 0, "swapcontext failed");
+  if (backend_ == Backend::Fcontext) {
+#if defined(XP_TSAN_FIBERS)
+    __tsan_switch_to_fiber(main_tsan_fiber_, 0);
+#endif
+    xp_fcontext_swap(&self.sp_, main_sp_);
+  } else {
+    XP_CHECK(swapcontext(&self.ctx_, &main_ctx_) == 0, "swapcontext failed");
+  }
 }
 
 void Scheduler::run() {

@@ -5,6 +5,11 @@
 // live fiber is blocked the scheduler reports a deadlock — for the pC++
 // runtime that means a barrier or remote wait can never be satisfied, which
 // is always a program error worth surfacing loudly.
+//
+// The context-switch backend (fcontext assembly vs. ucontext fallback; see
+// fiber/context.hpp) is chosen per scheduler at construction and is
+// invisible to fibers: scheduling order, exception propagation, and the
+// traces recorded under either backend are identical.
 #pragma once
 
 #include <deque>
@@ -18,10 +23,13 @@ namespace xp::fiber {
 
 class Scheduler {
  public:
-  Scheduler();
+  explicit Scheduler(Backend backend = Backend::Auto);
   ~Scheduler();
   Scheduler(const Scheduler&) = delete;
   Scheduler& operator=(const Scheduler&) = delete;
+
+  /// The resolved context-switch backend this scheduler runs on.
+  Backend backend() const { return backend_; }
 
   /// Create a fiber; it becomes runnable immediately.  Returns its id.
   int spawn(std::function<void()> body,
@@ -59,18 +67,22 @@ class Scheduler {
   void switch_to(Fiber& f);
   void return_to_scheduler(FiberState new_state);
 
+  Backend backend_;
   std::vector<std::unique_ptr<Fiber>> fibers_;
   std::deque<int> ready_;
   int current_ = -1;
-  ucontext_t main_ctx_{};
+  ucontext_t main_ctx_{};     ///< ucontext backend: scheduler context
+  void* main_sp_ = nullptr;   ///< fcontext backend: scheduler stack pointer
+  void* main_tsan_fiber_ = nullptr;
   bool running_ = false;
   std::function<bool()> idle_hook_;
 
-  // makecontext cannot pass pointers portably; the scheduler notes itself
-  // here just before switching into a fresh fiber.  thread_local so that
-  // independent Scheduler instances may run on different OS threads (one
-  // measurement per worker in a sweep); a single instance is still strictly
-  // single-threaded — all of its fibers run on the thread that calls run().
+  // makecontext cannot pass pointers portably (and the fcontext entry frame
+  // carries none); the scheduler notes itself here just before switching
+  // into a fresh fiber.  thread_local so that independent Scheduler
+  // instances may run on different OS threads (one measurement per worker
+  // in a sweep); a single instance is still strictly single-threaded — all
+  // of its fibers run on the thread that calls run().
   static thread_local Scheduler* launching_;
 };
 

@@ -1,0 +1,116 @@
+#include "fiber/stack_pool.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace xp::fiber {
+
+namespace {
+
+constexpr std::size_t kMaxFreePerSize = 32;
+
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return ps;
+}
+
+struct Pool {
+  std::mutex mu;
+  // Free stacks keyed by map_bytes.  StackSpan is POD; only map_base and
+  // map_bytes matter for pooled entries (top/usable are recomputed).
+  std::unordered_map<std::size_t, std::vector<StackSpan>> free_by_size;
+  StackPoolStats stats;
+
+  ~Pool() {
+    for (auto& [bytes, spans] : free_by_size)
+      for (StackSpan& s : spans) ::munmap(s.map_base, s.map_bytes);
+  }
+};
+
+Pool& pool() {
+  static Pool p;  // leaked-on-exit order is fine; dtor unmaps free stacks
+  return p;
+}
+
+}  // namespace
+
+StackSpan stack_acquire(std::size_t usable_bytes) {
+  XP_REQUIRE(usable_bytes > 0, "stack_acquire: zero-sized stack");
+  const std::size_t ps = page_size();
+  const std::size_t usable = ((usable_bytes + ps - 1) / ps) * ps;
+  const std::size_t map_bytes = usable + ps;  // + guard page
+
+  Pool& p = pool();
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    auto it = p.free_by_size.find(map_bytes);
+    if (it != p.free_by_size.end() && !it->second.empty()) {
+      StackSpan s = it->second.back();
+      it->second.pop_back();
+      ++p.stats.reused;
+      ++p.stats.active;
+      return s;
+    }
+  }
+
+  void* base = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  XP_CHECK(base != MAP_FAILED, "mmap of fiber stack failed");
+  XP_CHECK(::mprotect(base, ps, PROT_NONE) == 0,
+           "mprotect of fiber stack guard page failed");
+
+  StackSpan s;
+  s.map_base = base;
+  s.map_bytes = map_bytes;
+  s.top = static_cast<char*>(base) + map_bytes;
+  s.usable = usable;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    ++p.stats.mapped;
+    ++p.stats.active;
+  }
+  return s;
+}
+
+void stack_release(StackSpan s) {
+  if (!s) return;
+  Pool& p = pool();
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    --p.stats.active;
+    auto& spans = p.free_by_size[s.map_bytes];
+    if (spans.size() < kMaxFreePerSize) {
+      spans.push_back(s);
+      return;
+    }
+    ++p.stats.unmapped;
+  }
+  ::munmap(s.map_base, s.map_bytes);
+}
+
+StackPoolStats stack_pool_stats() {
+  Pool& p = pool();
+  std::lock_guard<std::mutex> lock(p.mu);
+  return p.stats;
+}
+
+void stack_pool_trim() {
+  Pool& p = pool();
+  std::unordered_map<std::size_t, std::vector<StackSpan>> drop;
+  {
+    std::lock_guard<std::mutex> lock(p.mu);
+    drop.swap(p.free_by_size);
+    for (const auto& [bytes, spans] : drop)
+      p.stats.unmapped += spans.size();
+  }
+  for (const auto& [bytes, spans] : drop)
+    for (const StackSpan& s : spans) ::munmap(s.map_base, s.map_bytes);
+}
+
+}  // namespace xp::fiber

@@ -1,0 +1,58 @@
+// Pooled mmap'd fiber stacks with guard pages.
+//
+// The Fcontext backend allocates stacks here instead of on the heap:
+//
+//  * each stack is an anonymous mmap with a PROT_NONE guard page at the low
+//    end, so running off the end of a fiber stack faults immediately
+//    instead of silently corrupting neighboring allocations (the heap-stack
+//    failure mode of the ucontext fallback);
+//  * released stacks go to a process-wide free list keyed by mapped size
+//    and are reused by later fibers — a measurement sweep spawning
+//    thousands of short-lived fibers pays the mmap/mprotect syscalls only
+//    for its high-water mark.  The Scheduler releases a stack as soon as
+//    its fiber finishes (a Finished fiber is never resumed), so the
+//    high-water mark is the peak number of *started, unfinished* fibers,
+//    not the spawn count.
+//
+// The free list holds at most kMaxFreePerSize stacks per size class;
+// further releases unmap immediately, bounding idle memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace xp::fiber {
+
+/// One pooled stack.  `top` is the high end (stacks grow down); the guard
+/// page lies below `top - usable`.
+struct StackSpan {
+  void* map_base = nullptr;   ///< mmap base (guard page)
+  std::size_t map_bytes = 0;  ///< total mapping incl. guard
+  char* top = nullptr;        ///< initial stack pointer (high end)
+  std::size_t usable = 0;     ///< bytes between guard and top
+
+  explicit operator bool() const { return map_base != nullptr; }
+};
+
+struct StackPoolStats {
+  std::uint64_t mapped = 0;    ///< stacks created with mmap
+  std::uint64_t reused = 0;    ///< acquisitions served from the free list
+  std::uint64_t unmapped = 0;  ///< stacks returned to the kernel
+  std::uint64_t active = 0;    ///< currently acquired (not in pool/unmapped)
+};
+
+/// A stack with at least `usable_bytes` of usable space (rounded up to
+/// whole pages), from the pool when one of that size is free.
+StackSpan stack_acquire(std::size_t usable_bytes);
+
+/// Return a stack to the pool (or unmap it if the size class is full).
+/// No-op for empty spans.
+void stack_release(StackSpan s);
+
+StackPoolStats stack_pool_stats();
+
+/// Unmap every pooled (free) stack.  Tests use this to take delta-free
+/// baselines; safe at any time, acquired stacks are unaffected.
+void stack_pool_trim();
+
+}  // namespace xp::fiber

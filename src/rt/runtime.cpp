@@ -2,6 +2,8 @@
 
 #include <chrono>
 #include <map>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "fiber/scheduler.hpp"
@@ -19,7 +21,7 @@ namespace {
 /// thread's computation — the invariant trace translation relies on.
 class MeasureRuntime final : public Runtime {
  public:
-  MeasureRuntime(int n_threads, HostMachine host)
+  MeasureRuntime(int n_threads, HostMachine host, std::int64_t capacity_hint)
       : n_(n_threads),
         host_(host),
         host_clock_(host.clock_mode == HostMachine::ClockMode::HostClock),
@@ -27,7 +29,7 @@ class MeasureRuntime final : public Runtime {
         // modeled overheads apply only to the virtual clock.
         tracer_(n_threads, host_clock_ ? Time::zero() : host.event_overhead,
                 host_clock_ ? 0 : host.flush_every,
-                host_clock_ ? Time::zero() : host.flush_cost),
+                host_clock_ ? Time::zero() : host.flush_cost, capacity_hint),
         barrier_count_(static_cast<std::size_t>(n_threads), 0) {
     XP_REQUIRE(n_ > 0, "need at least one thread");
     XP_REQUIRE(host_.mflops > 0, "MFLOPS rating must be positive");
@@ -53,6 +55,8 @@ class MeasureRuntime final : public Runtime {
     prog.verify();
     return t;
   }
+
+  std::int64_t events_recorded() const { return tracer_.events_recorded(); }
 
   int n_threads() const override { return n_; }
 
@@ -176,11 +180,41 @@ class MeasureRuntime final : public Runtime {
   std::map<std::int32_t, BarrierState> pending_;
 };
 
+/// Event counts from completed measurements, keyed "program/n_threads".
+/// Rerunning the same configuration (fitting takes repeated measurements;
+/// sweeps re-measure per distinct thread count) seeds the tracer with the
+/// previous run's count so every per-thread arena reserves exactly once.
+struct HintRegistry {
+  std::mutex mu;
+  std::unordered_map<std::string, std::int64_t> counts;
+
+  static HintRegistry& instance() {
+    static HintRegistry r;
+    return r;
+  }
+};
+
+std::string hint_key(const std::string& program, int n_threads) {
+  return program + "/" + std::to_string(n_threads);
+}
+
 }  // namespace
 
+std::int64_t measured_event_hint(const std::string& program, int n_threads) {
+  HintRegistry& r = HintRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.counts.find(hint_key(program, n_threads));
+  return it != r.counts.end() ? it->second : 0;
+}
+
 trace::Trace measure(Program& prog, const MeasureOptions& opt) {
-  MeasureRuntime rt(opt.n_threads, opt.host);
-  return rt.run(prog);
+  const std::int64_t hint = measured_event_hint(prog.name(), opt.n_threads);
+  MeasureRuntime rt(opt.n_threads, opt.host, hint);
+  trace::Trace t = rt.run(prog);
+  HintRegistry& r = HintRegistry::instance();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.counts[hint_key(prog.name(), opt.n_threads)] = rt.events_recorded();
+  return t;
 }
 
 }  // namespace xp::rt

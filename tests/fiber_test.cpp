@@ -1,17 +1,45 @@
 // Unit tests for the non-preemptive fiber package.
+//
+// Every scheduler-behavior test runs against BOTH context-switch backends
+// (the fcontext assembly switch and the ucontext fallback) via the value-
+// parameterized fixture below: the backend must be invisible to fibers.
+// The fcontext-only sections cover what the ucontext path cannot: pooled
+// guard-page stacks (overflow dies loudly, churn reuses mappings) and the
+// backend-vs-oracle differential over the full benchmark suite.
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "fiber/scheduler.hpp"
+#include "fiber/stack_pool.hpp"
+#include "rt/runtime.hpp"
+#include "suite/suite.hpp"
+#include "trace/trace_io.hpp"
 #include "util/error.hpp"
 
 namespace xp::fiber {
 namespace {
 
-TEST(Fiber, RunsSingleFiberToCompletion) {
-  Scheduler s;
+std::vector<Backend> tested_backends() {
+  std::vector<Backend> b{Backend::Ucontext};
+  if (fcontext_supported()) b.push_back(Backend::Fcontext);
+  return b;
+}
+
+std::string backend_name(const ::testing::TestParamInfo<Backend>& info) {
+  return info.param == Backend::Fcontext ? "fcontext" : "ucontext";
+}
+
+class FiberTest : public ::testing::TestWithParam<Backend> {};
+
+INSTANTIATE_TEST_SUITE_P(Backends, FiberTest,
+                         ::testing::ValuesIn(tested_backends()),
+                         backend_name);
+
+TEST_P(FiberTest, RunsSingleFiberToCompletion) {
+  Scheduler s(GetParam());
   bool ran = false;
   s.spawn([&] { ran = true; });
   s.run();
@@ -19,8 +47,8 @@ TEST(Fiber, RunsSingleFiberToCompletion) {
   EXPECT_EQ(s.live_count(), 0u);
 }
 
-TEST(Fiber, FifoOrderWithoutYields) {
-  Scheduler s;
+TEST_P(FiberTest, FifoOrderWithoutYields) {
+  Scheduler s(GetParam());
   std::vector<int> order;
   for (int i = 0; i < 5; ++i)
     s.spawn([&, i] { order.push_back(i); });
@@ -28,8 +56,8 @@ TEST(Fiber, FifoOrderWithoutYields) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
-TEST(Fiber, YieldInterleaves) {
-  Scheduler s;
+TEST_P(FiberTest, YieldInterleaves) {
+  Scheduler s(GetParam());
   std::vector<std::string> log;
   s.spawn([&] {
     log.push_back("a1");
@@ -45,8 +73,8 @@ TEST(Fiber, YieldInterleaves) {
   EXPECT_EQ(log, (std::vector<std::string>{"a1", "b1", "a2", "b2"}));
 }
 
-TEST(Fiber, CurrentReportsRunningFiber) {
-  Scheduler s;
+TEST_P(FiberTest, CurrentReportsRunningFiber) {
+  Scheduler s(GetParam());
   std::vector<int> seen;
   for (int i = 0; i < 3; ++i)
     s.spawn([&] { seen.push_back(s.current()); });
@@ -55,8 +83,8 @@ TEST(Fiber, CurrentReportsRunningFiber) {
   EXPECT_EQ(s.current(), -1);
 }
 
-TEST(Fiber, BlockAndUnblock) {
-  Scheduler s;
+TEST_P(FiberTest, BlockAndUnblock) {
+  Scheduler s(GetParam());
   std::vector<std::string> log;
   const int a = s.spawn([&] {
     log.push_back("a-block");
@@ -72,14 +100,14 @@ TEST(Fiber, BlockAndUnblock) {
                                            "a-resumed"}));
 }
 
-TEST(Fiber, DeadlockDetected) {
-  Scheduler s;
+TEST_P(FiberTest, DeadlockDetected) {
+  Scheduler s(GetParam());
   s.spawn([&] { s.block(); });
   EXPECT_THROW(s.run(), util::Error);
 }
 
-TEST(Fiber, ExceptionPropagatesToRun) {
-  Scheduler s;
+TEST_P(FiberTest, ExceptionPropagatesToRun) {
+  Scheduler s(GetParam());
   s.spawn([] { throw std::runtime_error("inside fiber"); });
   try {
     s.run();
@@ -89,8 +117,8 @@ TEST(Fiber, ExceptionPropagatesToRun) {
   }
 }
 
-TEST(Fiber, ManyFibersWithDeepStacks) {
-  Scheduler s;
+TEST_P(FiberTest, ManyFibersWithDeepStacks) {
+  Scheduler s(GetParam());
   int total = 0;
   for (int i = 0; i < 64; ++i) {
     s.spawn([&s, &total] {
@@ -109,8 +137,8 @@ TEST(Fiber, ManyFibersWithDeepStacks) {
   EXPECT_EQ(total, 64 * 33);
 }
 
-TEST(Fiber, SpawnFromWithinFiber) {
-  Scheduler s;
+TEST_P(FiberTest, SpawnFromWithinFiber) {
+  Scheduler s(GetParam());
   std::vector<int> order;
   s.spawn([&] {
     order.push_back(0);
@@ -120,8 +148,8 @@ TEST(Fiber, SpawnFromWithinFiber) {
   EXPECT_EQ(order, (std::vector<int>{0, 1}));
 }
 
-TEST(Fiber, StateQueries) {
-  Scheduler s;
+TEST_P(FiberTest, StateQueries) {
+  Scheduler s(GetParam());
   const int id = s.spawn([&] { s.block(); });
   EXPECT_EQ(s.state_of(id), FiberState::Ready);
   s.spawn([&, id] {
@@ -134,14 +162,14 @@ TEST(Fiber, StateQueries) {
   EXPECT_THROW(s.state_of(99), util::Error);
 }
 
-TEST(Fiber, UnblockNonBlockedRejected) {
-  Scheduler s;
+TEST_P(FiberTest, UnblockNonBlockedRejected) {
+  Scheduler s(GetParam());
   const int id = s.spawn([] {});
   EXPECT_THROW(s.unblock(id), util::Error);  // it is Ready, not Blocked
 }
 
-TEST(Fiber, IdleHookDrivesProgress) {
-  Scheduler s;
+TEST_P(FiberTest, IdleHookDrivesProgress) {
+  Scheduler s(GetParam());
   int blocked_id = -1;
   bool resumed = false;
   blocked_id = s.spawn([&] {
@@ -162,22 +190,28 @@ TEST(Fiber, IdleHookDrivesProgress) {
   EXPECT_EQ(hook_calls, 3);
 }
 
-TEST(Fiber, IdleHookExhaustedMeansDeadlock) {
-  Scheduler s;
+TEST_P(FiberTest, IdleHookExhaustedMeansDeadlock) {
+  Scheduler s(GetParam());
   s.spawn([&] { s.block(); });
   s.set_idle_hook([] { return false; });
   EXPECT_THROW(s.run(), util::Error);
 }
 
-TEST(Fiber, RejectsTinyStack) {
-  Scheduler s;
+TEST_P(FiberTest, RejectsTinyStack) {
+  Scheduler s(GetParam());
   EXPECT_THROW(s.spawn([] {}, 1024), util::Error);
 }
 
-TEST(Fiber, YieldOutsideFiberRejected) {
-  Scheduler s;
+TEST_P(FiberTest, YieldOutsideFiberRejected) {
+  Scheduler s(GetParam());
   EXPECT_THROW(s.yield(), util::Error);
   EXPECT_THROW(s.block(), util::Error);
+}
+
+TEST_P(FiberTest, BackendAccessorReportsResolvedBackend) {
+  Scheduler s(GetParam());
+  EXPECT_EQ(s.backend(), GetParam());
+  EXPECT_NE(s.backend(), Backend::Auto);  // always resolved
 }
 
 TEST(Fiber, StateToString) {
@@ -185,6 +219,117 @@ TEST(Fiber, StateToString) {
   EXPECT_STREQ(to_string(FiberState::Running), "running");
   EXPECT_STREQ(to_string(FiberState::Blocked), "blocked");
   EXPECT_STREQ(to_string(FiberState::Finished), "finished");
+}
+
+TEST(Fiber, AutoResolvesToProcessDefault) {
+  Scheduler s;
+  EXPECT_EQ(s.backend(), default_backend());
+
+  set_default_backend(Backend::Ucontext);
+  EXPECT_EQ(Scheduler().backend(), Backend::Ucontext);
+  set_default_backend(Backend::Auto);  // restore the build default
+  EXPECT_EQ(Scheduler().backend(), default_backend());
+}
+
+TEST(Fiber, RequestingUnportedBackendThrows) {
+  if (fcontext_supported()) {
+    EXPECT_EQ(resolve_backend(Backend::Fcontext), Backend::Fcontext);
+  } else {
+    EXPECT_THROW(resolve_backend(Backend::Fcontext), util::Error);
+  }
+  EXPECT_EQ(resolve_backend(Backend::Ucontext), Backend::Ucontext);
+}
+
+// --- fcontext-only: pooled guard-page stacks ------------------------------
+
+TEST(FiberStackPool, ChurnReusesStacksAcrossFiberLifetimes) {
+  if (!fcontext_supported()) GTEST_SKIP() << "no fcontext port";
+  const StackPoolStats before = stack_pool_stats();
+  constexpr int kFibers = 10000;
+  Scheduler s(Backend::Fcontext);
+  long total = 0;
+  for (int i = 0; i < kFibers; ++i)
+    s.spawn([&total, i] { total += i; });
+  s.run();
+  const StackPoolStats after = stack_pool_stats();
+  EXPECT_EQ(total, static_cast<long>(kFibers) * (kFibers - 1) / 2);
+  const auto mapped = after.mapped - before.mapped;
+  const auto reused = after.reused - before.reused;
+  // FIFO + no yields: at most one fiber is in flight at a time, so the 10k
+  // lifetimes are served by (at most) one fresh mapping — the scheduler
+  // returns a stack to the pool the moment its fiber finishes.
+  EXPECT_EQ(mapped + reused, static_cast<std::uint64_t>(kFibers));
+  EXPECT_LE(mapped, 1u);
+  EXPECT_GE(reused, static_cast<std::uint64_t>(kFibers - 1));
+  EXPECT_EQ(after.active, before.active);  // nothing leaked
+}
+
+TEST(FiberStackPool, InterleavedFibersGetDistinctStacks) {
+  if (!fcontext_supported()) GTEST_SKIP() << "no fcontext port";
+  const StackPoolStats before = stack_pool_stats();
+  constexpr int kWave = 8;
+  Scheduler s(Backend::Fcontext);
+  for (int i = 0; i < kWave; ++i)
+    s.spawn([&s] {
+      s.yield();  // all kWave fibers alive (started) at once
+      s.yield();
+    });
+  s.run();
+  const StackPoolStats after = stack_pool_stats();
+  EXPECT_EQ((after.mapped - before.mapped) + (after.reused - before.reused),
+            static_cast<std::uint64_t>(kWave));
+  EXPECT_EQ(after.active, before.active);
+}
+
+TEST(FiberStackPoolDeathTest, GuardPageCatchesStackOverflow) {
+  if (!fcontext_supported()) GTEST_SKIP() << "no fcontext port";
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  // Recursing past the end of a pooled stack must hit the PROT_NONE guard
+  // page and die (SIGSEGV), not silently corrupt neighboring memory.
+  EXPECT_DEATH(
+      {
+        Scheduler s(Backend::Fcontext);
+        s.spawn(
+            [] {
+              std::function<long(long)> rec = [&](long d) -> long {
+                volatile char frame[1024];
+                frame[0] = static_cast<char>(d);
+                return d + frame[0] + rec(d + 1);
+              };
+              rec(0);
+            },
+            16 * 1024);  // minimum stack: overflow fast
+        s.run();
+      },
+      "");
+}
+
+// --- differential: fcontext vs ucontext on the full suite -----------------
+
+// Both backends must yield bitwise-identical traces: the virtual clock
+// drives every timestamp, and scheduling order is backend-independent.
+// Serializing through trace_io makes the comparison total (events, order,
+// metadata).
+TEST(FiberDifferential, BackendsProduceIdenticalTracesOnFullSuite) {
+  if (!fcontext_supported()) GTEST_SKIP() << "no fcontext port";
+  suite::SuiteConfig cfg;  // defaults: small but exercises every bench
+  for (const std::string& name : suite::benchmark_names()) {
+    std::string out[2];
+    const Backend backends[2] = {Backend::Ucontext, Backend::Fcontext};
+    for (int b = 0; b < 2; ++b) {
+      set_default_backend(backends[b]);
+      auto prog = suite::make_by_name(name, cfg);
+      rt::MeasureOptions mo;
+      mo.n_threads = 8;
+      const trace::Trace t = rt::measure(*prog, mo);
+      std::ostringstream os;
+      trace::write_text(t, os);
+      out[b] = os.str();
+    }
+    set_default_backend(Backend::Auto);
+    EXPECT_EQ(out[0], out[1]) << "trace mismatch between backends on '"
+                              << name << "'";
+  }
 }
 
 }  // namespace

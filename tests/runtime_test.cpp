@@ -6,6 +6,7 @@
 #include "rt/collection.hpp"
 #include "core/extrapolator.hpp"
 #include "rt/runtime.hpp"
+#include "rt/tracer.hpp"
 #include "trace/summary.hpp"
 #include "util/error.hpp"
 
@@ -221,6 +222,79 @@ TEST(MeasureRuntime, HostClockTraceTranslatesAndSimulates) {
   const auto r = core::simulate(parts, model::distributed_preset());
   EXPECT_GT(r.makespan, util::Time::zero());
   EXPECT_LE(core::ideal_parallel_time(parts), t.end_time());
+}
+
+TEST(Tracer, ArenaOrderMatchesRecordingStableSort) {
+  // Interleave records from two threads with many equal timestamps; take()
+  // must order by (time, recording order) — what the old single-vector
+  // tracer's stable sort produced.
+  Tracer tr(2, Time::zero());
+  Time clock = Time::zero();
+  for (int i = 0; i < 100; ++i) {
+    trace::Event e;
+    e.thread = i % 2;
+    e.kind = trace::EventKind::PhaseBegin;
+    e.object = i;
+    tr.record(&clock, e);
+    if (i % 10 == 9) clock += Time::ns(5);
+  }
+  EXPECT_EQ(tr.events_recorded(), 100);
+  const trace::Trace t = tr.take();
+  ASSERT_EQ(t.size(), 100u);
+  EXPECT_TRUE(t.is_time_ordered());
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_EQ(t[i].object, static_cast<std::int64_t>(i));  // recording order
+}
+
+TEST(Tracer, CapacityHintReservesOneChunkPerThread) {
+  const auto record_n = [](Tracer& tr, int n_threads, int per_thread) {
+    Time clock = Time::zero();
+    for (int i = 0; i < per_thread; ++i)
+      for (int t = 0; t < n_threads; ++t) {
+        trace::Event e;
+        e.thread = t;
+        e.kind = trace::EventKind::PhaseBegin;
+        tr.record(&clock, e);
+      }
+  };
+  // Unhinted: 3000 events/thread overflow the 1024-event default chunk.
+  Tracer cold(2, Time::zero());
+  record_n(cold, 2, 3000);
+  EXPECT_GT(cold.chunks_allocated(), 2u);
+  // Hinted with the previous run's total: one chunk per thread.
+  Tracer warm(2, Time::zero(), 0, Time::zero(), cold.events_recorded());
+  record_n(warm, 2, 3000);
+  EXPECT_EQ(warm.chunks_allocated(), 2u);
+  // Identical output either way.
+  const trace::Trace a = cold.take();
+  const trace::Trace b = warm.take();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].thread, b[i].thread);
+  }
+}
+
+TEST(MeasureRuntime, RerunUsesCapacityHintFromFirstRun) {
+  TestProgram p;
+  p.barriers = 4;
+  // Unique thread count for this test so earlier tests' registry entries
+  // don't interfere.
+  const int n = 7;
+  const std::int64_t before = measured_event_hint(p.name(), n);
+  const trace::Trace t1 = measure(p, opts(n));
+  const std::int64_t hint = measured_event_hint(p.name(), n);
+  EXPECT_EQ(hint, static_cast<std::int64_t>(t1.size()));
+  EXPECT_GT(hint, before);
+  // The hinted rerun records the identical trace.
+  TestProgram p2;
+  p2.barriers = 4;
+  const trace::Trace t2 = measure(p2, opts(n));
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].time, t2[i].time);
+    EXPECT_EQ(t1[i].thread, t2[i].thread);
+  }
 }
 
 TEST(Calibration, MflopsRatingIsPlausible) {

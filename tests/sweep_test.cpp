@@ -162,6 +162,14 @@ TEST(SweepRunner, FactoryPathMatchesSeededPath) {
   for (const auto& [n, t] : traces) seeded.seed_trace(t);
   const SweepResult from_seed = seeded.run(grid);
   EXPECT_EQ(serialize(from_factory), serialize(from_seed));
+
+  // The factory path did real measurements through the pre-warm stage, so
+  // the per-stage breakdown must account for them; the seeded path never
+  // measures.
+  EXPECT_GT(from_factory.stages.measure_s, 0.0);
+  EXPECT_GT(from_factory.stages.prewarm_wall_s, 0.0);
+  EXPECT_GT(from_factory.stages.simulate_wall_s, 0.0);
+  EXPECT_EQ(from_seed.stages.measure_s, 0.0);
 }
 
 TEST(SweepRunner, DeterministicAcrossRunsAndSubmissionOrders) {
@@ -247,6 +255,47 @@ TEST(TranslateCache, KeyedOnThreadCountAndOptions) {
   key.topt = TranslateOptions{};
   key.n_threads = 3;
   EXPECT_EQ(cache.get(key), nullptr);
+}
+
+TEST(TranslateCache, HashCoversEveryTranslateOptionsField) {
+  // Audit for the stale-cache-hit failure mode: a field of
+  // TranslateOptions that equality sees but the hash ignores is legal for
+  // unordered_map, yet a hash that *collides* for differing options while
+  // a buggy equality ignored them would silently serve the wrong
+  // translation.  Pin down that every field currently in TranslateOptions
+  // (see the static_assert next to TranslateKeyHash) changes the hash.
+  TranslateKeyHash h;
+  TranslateKey base;
+  base.n_threads = 4;
+
+  TranslateKey other = base;
+  other.n_threads = 5;
+  EXPECT_NE(h(base), h(other)) << "n_threads not mixed";
+
+  other = base;
+  other.topt.remove_event_overhead = !base.topt.remove_event_overhead;
+  EXPECT_NE(h(base), h(other)) << "remove_event_overhead not mixed";
+
+  other = base;
+  other.topt.event_overhead_override = util::Time::ns(123);
+  EXPECT_NE(h(base), h(other)) << "event_overhead_override not mixed";
+
+  // And distinct options must land in distinct entries end to end.
+  SweepProgram prog;
+  rt::MeasureOptions mo;
+  mo.n_threads = 2;
+  const trace::Trace t = rt::measure(prog, mo);
+  TranslateCache cache;
+  TranslateOptions keep;
+  keep.remove_event_overhead = false;
+  TranslateOptions strip;  // default: remove overhead
+  cache.put(t, keep);
+  cache.put(t, strip);
+  EXPECT_EQ(cache.size(), 2u);
+  TranslateKey k1{2, keep}, k2{2, strip};
+  ASSERT_NE(cache.get(k1), nullptr);
+  ASSERT_NE(cache.get(k2), nullptr);
+  EXPECT_NE(cache.get(k1), cache.get(k2));
 }
 
 TEST(TranslateCache, MeasuresOncePerKeyUnderConcurrency) {
