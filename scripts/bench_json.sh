@@ -60,11 +60,20 @@ for b in data.get("benchmarks", []):
     entry["ns_per_iteration"] = min(
         entry.get("ns_per_iteration", float("inf")), b["real_time"])
 
-# Sweep harness: grab the warm-cache "workers ... best of N" rows and the
-# cold-cache "e2e N: total/measure/translate/simulate" breakdown rows.
+# Sweep harness: the host CPU count (gates below are conditional on it),
+# the warm-cache "workers ... best of N" rows, and the cold-cache
+# "e2e N total meas.cpu tra.cpu sim.cpu prew.wall sim.wall speedup"
+# breakdown rows.  CPU columns are summed CLOCK_THREAD_CPUTIME_ID seconds
+# (work done — flat across worker counts unless there is contention);
+# wall columns are per-stage elapsed time (what parallelism shrinks).
 sweep = {}
+hw = 0
 with open(sweep_log) as f:
     for line in f:
+        m = re.match(r"host hardware_concurrency:\s+(\d+)", line)
+        if m:
+            hw = int(m.group(1))
+            continue
         m = re.match(r"\s*(\d+)\s+([0-9.]+) s\s+([0-9.]+)x", line)
         if m:
             sweep[f"sweep_grid_workers_{m.group(1)}"] = {
@@ -74,18 +83,21 @@ with open(sweep_log) as f:
             continue
         m = re.match(
             r"\s*e2e\s+(\d+)\s+([0-9.]+) s\s+([0-9.]+) s\s+([0-9.]+) s"
-            r"\s+([0-9.]+) s\s+([0-9.]+)x", line)
+            r"\s+([0-9.]+) s\s+([0-9.]+) s\s+([0-9.]+) s\s+([0-9.]+)x", line)
         if m:
             sweep[f"sweep_e2e_workers_{m.group(1)}"] = {
                 "seconds": float(m.group(2)),
-                "measure_seconds": float(m.group(3)),
-                "translate_seconds": float(m.group(4)),
-                "simulate_seconds": float(m.group(5)),
-                "speedup_vs_sequential": float(m.group(6)),
+                "measure_cpu_seconds": float(m.group(3)),
+                "translate_cpu_seconds": float(m.group(4)),
+                "simulate_cpu_seconds": float(m.group(5)),
+                "prewarm_wall_seconds": float(m.group(6)),
+                "simulate_wall_seconds": float(m.group(7)),
+                "speedup_vs_sequential": float(m.group(8)),
             }
 
 out = {
-    "schema": "xp-bench-sim/1",
+    "schema": "xp-bench-sim/2",
+    "hw_concurrency": hw,
     "source": ["bench/micro_engine", "bench/abl_sweep_scaling"],
     "note": "items_per_second is best-of-5 repetitions; "
             "see scripts/bench_json.sh for methodology",
@@ -120,39 +132,96 @@ with open("BENCH_sim.json", "w") as f:
 print("wrote BENCH_sim.json "
       f"({len(best)} micro benchmarks, {len(sweep)} sweep rows)")
 
-# Regression gate for the fcontext fiber backend.  Primary check: the
-# within-run ratio of BM_FiberSwitch (process-default backend, fcontext
-# where ported) over BM_FiberSwitchUcontext must clear 2x — both numbers
-# come from the same host and run, so absolute drift from the committed
-# baseline cannot mask a backend regression.  On targets without an
-# fcontext port both benchmarks time the same backend, so the gate is
-# skipped when the ratio is ~1 AND the baseline comparison (if present)
-# did not regress.  XP_BENCH_NO_GATE=1 disables the gate for exploratory
-# runs.
+# --- Regression gates -------------------------------------------------
+# Both gates always run (a fiber pass must not short-circuit the sweep
+# check); the script exits nonzero if ANY gate fails.  XP_BENCH_NO_GATE=1
+# disables them all for exploratory runs.
 import os
 if os.environ.get("XP_BENCH_NO_GATE"):
-    print("fiber gate: skipped (XP_BENCH_NO_GATE set)")
+    print("gates: skipped (XP_BENCH_NO_GATE set)")
     sys.exit(0)
+failed = False
+
+# Gate 1: fcontext fiber backend.  Primary check: the within-run ratio of
+# BM_FiberSwitch (process-default backend, fcontext where ported) over
+# BM_FiberSwitchUcontext must clear 2x — both numbers come from the same
+# host and run, so absolute drift from the committed baseline cannot mask
+# a backend regression.  On targets without an fcontext port both
+# benchmarks time the same backend, so the gate is skipped when the ratio
+# is ~1 AND the baseline comparison (if present) did not regress.
 fs = best.get("BM_FiberSwitch", {}).get("items_per_second")
 uc = best.get("BM_FiberSwitchUcontext", {}).get("items_per_second")
 if not fs or not uc:
     print("fiber gate: skipped (BM_FiberSwitch rows missing)")
-    sys.exit(0)
-ratio = fs / uc
-if ratio >= 2.0:
-    print(f"fiber gate: OK (fcontext {ratio:.1f}x ucontext within-run)")
-    sys.exit(0)
-if ratio >= 0.85:
-    # Same-backend build (no fcontext port, or XP_FIBER_UCONTEXT default):
-    # fall back to the committed baseline to catch absolute regressions.
-    base = out.get("baseline", {}).get("benchmarks", {}).get(
-        "BM_FiberSwitch", {}).get("items_per_second")
-    if base and fs >= 0.7 * base:
-        print(f"fiber gate: OK (single-backend build, {fs:.3g} items/s "
-              f"vs baseline {base:.3g})")
-        sys.exit(0)
-print(f"fiber gate: FAIL — BM_FiberSwitch is {ratio:.2f}x "
-      "BM_FiberSwitchUcontext (need >= 2x; set XP_BENCH_NO_GATE=1 to "
-      "override)", file=sys.stderr)
-sys.exit(1)
+else:
+    ratio = fs / uc
+    if ratio >= 2.0:
+        print(f"fiber gate: OK (fcontext {ratio:.1f}x ucontext within-run)")
+    else:
+        ok = False
+        if ratio >= 0.85:
+            # Same-backend build (no fcontext port, or XP_FIBER_UCONTEXT
+            # default): fall back to the committed baseline to catch
+            # absolute regressions.
+            base = out.get("baseline", {}).get("benchmarks", {}).get(
+                "BM_FiberSwitch", {}).get("items_per_second")
+            if base and fs >= 0.7 * base:
+                print(f"fiber gate: OK (single-backend build, {fs:.3g} "
+                      f"items/s vs baseline {base:.3g})")
+                ok = True
+        if not ok:
+            print(f"fiber gate: FAIL — BM_FiberSwitch is {ratio:.2f}x "
+                  "BM_FiberSwitchUcontext (need >= 2x; set "
+                  "XP_BENCH_NO_GATE=1 to override)", file=sys.stderr)
+            failed = True
+
+# Gate 2: end-to-end sweep scaling.  The work-stealing pool + sharded
+# caches must turn extra cores into wall-clock speedup WITHOUT inflating
+# the measure stage's CPU-second sum (inflation = shared-state
+# contention).  Floors are conditional on the host actually exposing the
+# cores: >= 3x at 4 workers (and measure-CPU within 1.3x of the 1-worker
+# run) when hw >= 4, additionally >= 5x at 8 workers when hw >= 8.
+# Within-run ratios, so host-speed drift cannot mask a regression.
+e2e1 = sweep.get("sweep_e2e_workers_1")
+e2e4 = sweep.get("sweep_e2e_workers_4")
+e2e8 = sweep.get("sweep_e2e_workers_8")
+if not e2e1 or not e2e4 or not e2e8:
+    print("sweep gate: FAIL — e2e rows missing from abl_sweep_scaling "
+          "output (format drift?)", file=sys.stderr)
+    failed = True
+elif hw < 4:
+    print(f"sweep gate: skipped (host exposes {hw} CPU(s); the speedup "
+          "floors need >= 4)")
+else:
+    sp4 = e2e4["speedup_vs_sequential"]
+    cpu_ratio = (e2e4["measure_cpu_seconds"] /
+                 e2e1["measure_cpu_seconds"]
+                 if e2e1["measure_cpu_seconds"] > 0 else 1.0)
+    if sp4 < 3.0:
+        print(f"sweep gate: FAIL — e2e speedup at 4 workers is {sp4:.2f}x "
+              "(need >= 3x; set XP_BENCH_NO_GATE=1 to override)",
+              file=sys.stderr)
+        failed = True
+    elif cpu_ratio > 1.3:
+        print("sweep gate: FAIL — measure-stage CPU-seconds at 4 workers "
+              f"are {cpu_ratio:.2f}x the 1-worker run (need <= 1.3x: the "
+              "measure stage is contending on shared state)",
+              file=sys.stderr)
+        failed = True
+    else:
+        print(f"sweep gate: OK at 4 workers ({sp4:.2f}x e2e, measure CPU "
+              f"{cpu_ratio:.2f}x sequential)")
+    if hw >= 8:
+        sp8 = e2e8["speedup_vs_sequential"]
+        if sp8 < 5.0:
+            print(f"sweep gate: FAIL — e2e speedup at 8 workers is "
+                  f"{sp8:.2f}x (need >= 5x)", file=sys.stderr)
+            failed = True
+        else:
+            print(f"sweep gate: OK at 8 workers ({sp8:.2f}x e2e)")
+    else:
+        print(f"sweep gate: 8-worker floor skipped (host exposes {hw} "
+              "CPU(s))")
+
+sys.exit(1 if failed else 0)
 PY

@@ -1,5 +1,7 @@
 #include "core/sweep.hpp"
 
+#include <time.h>
+
 #include <algorithm>
 #include <chrono>
 #include <exception>
@@ -10,6 +12,21 @@
 #include "util/thread_pool.hpp"
 
 namespace xp::core {
+
+namespace {
+
+/// CPU seconds consumed by the calling thread.  The per-stage CPU sums are
+/// built from deltas of this clock taken on the worker that ran the job, so
+/// they measure work done, not wall time spent time-sliced against the
+/// other workers (see SweepStages).
+double thread_cpu_seconds() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+}  // namespace
 
 // Tripwire for the cache-key contract: TranslateOptions currently holds
 // {bool remove_event_overhead; Time event_overhead_override} and the hash
@@ -38,10 +55,24 @@ struct TranslateCache::Entry {
   util::OnceCell<std::shared_ptr<const TranslatedTrace>> cell;
 };
 
+TranslateCache::Shard& TranslateCache::shard_for(const TranslateKey& key) {
+  // Top bits of the FNV hash: unordered_map buckets use the low bits, so
+  // shard choice and bucket choice stay decorrelated.
+  static_assert((kShards & (kShards - 1)) == 0, "kShards must be a power of 2");
+  const std::size_t h = TranslateKeyHash{}(key);
+  return shards_[(h >> (sizeof(std::size_t) * 8 - 4)) & (kShards - 1)];
+}
+
+const TranslateCache::Shard& TranslateCache::shard_for(
+    const TranslateKey& key) const {
+  return const_cast<TranslateCache*>(this)->shard_for(key);
+}
+
 std::shared_ptr<TranslateCache::Entry> TranslateCache::entry_for(
     const TranslateKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = map_[key];
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.map[key];
   if (!slot) slot = std::make_shared<Entry>();
   return slot;
 }
@@ -81,20 +112,28 @@ void TranslateCache::put(const trace::Trace& measured,
 
 std::shared_ptr<const TranslatedTrace> TranslateCache::get(
     const TranslateKey& key) const {
+  const Shard& shard = shard_for(key);
   std::shared_ptr<Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(key);
-    if (it == map_.end()) return nullptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return nullptr;
     entry = it->second;
   }
+  // peek() is nullptr while the entry is still computing, so a concurrent
+  // get() observes either nothing or the complete immutable translation —
+  // never a partially-constructed one.
   const auto* v = entry->cell.peek();
   return v ? *v : nullptr;
 }
 
 std::size_t TranslateCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
 }
 
 SweepRunner::SweepRunner(ProgramFactory factory, SweepOptions opt)
@@ -130,10 +169,11 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
 
   // The measurement for a cache miss (each Scheduler is confined to the OS
   // thread that runs it, so concurrent measurements on pool workers are
-  // safe).  `measure_s` reports how much of a pre-warm job was program
-  // measurement, so translate+compile time can be attributed separately.
-  const auto measure_fn = [this, secs](double* measure_s) {
-    return [this, secs, measure_s](int n) {
+  // safe).  `measure_cpu_s` reports how much of a pre-warm job was program
+  // measurement (thread-CPU seconds), so translate+compile cost can be
+  // attributed separately.
+  const auto measure_fn = [this](double* measure_cpu_s) {
+    return [this, measure_cpu_s](int n) {
       XP_REQUIRE(factory_ != nullptr,
                  "sweep needs a ProgramFactory or a seed_trace() covering "
                  "n_threads=" +
@@ -143,9 +183,9 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
       rt::MeasureOptions mo;
       mo.n_threads = n;
       mo.host = opt_.host;
-      const auto t0 = Clock::now();
+      const double cpu0 = thread_cpu_seconds();
       trace::Trace t = rt::measure(*prog, mo);
-      if (measure_s) *measure_s = secs(Clock::now() - t0);
+      if (measure_cpu_s) *measure_cpu_s = thread_cpu_seconds() - cpu0;
       return t;
     };
   };
@@ -162,15 +202,15 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
   util::ThreadPool pool(n_workers);
 
   // Pre-warm: one (measure -> translate -> compile) job per distinct thread
-  // count, fanned across the pool before any cell simulates.  Largest
-  // thread counts go first (LPT): measurement cost grows with n, so
-  // starting the big ones earliest minimizes the stage's makespan.
+  // count, fanned across the pool before any cell simulates.  Submitted
+  // with n_threads as the LPT cost hint: measurement cost grows with n, so
+  // the pool starts the big ones earliest, minimizing the stage's makespan.
   struct PrewarmJob {
     TranslateKey key;
     std::size_t first_grid_index = 0;  ///< first cell using this key
     std::shared_ptr<const TranslatedTrace> result;
-    double measure_s = 0;
-    double total_s = 0;
+    double measure_cpu_s = 0;
+    double total_cpu_s = 0;
   };
   std::vector<PrewarmJob> jobs;
   std::unordered_map<TranslateKey, std::size_t, TranslateKeyHash> job_of_key;
@@ -181,32 +221,28 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
     if (job_of_key.emplace(key, jobs.size()).second)
       jobs.push_back(PrewarmJob{key, i, nullptr, 0, 0});
   }
-  std::vector<std::size_t> prewarm_order(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) prewarm_order[j] = j;
-  std::stable_sort(prewarm_order.begin(), prewarm_order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return jobs[a].key.n_threads > jobs[b].key.n_threads;
-                   });
 
   const auto prewarm0 = Clock::now();
-  for (std::size_t j : prewarm_order) {
-    pool.submit([&, j] {
-      PrewarmJob& job = jobs[j];
-      const auto t0 = Clock::now();
-      try {
-        job.result = cache_->get_or_prepare(job.key,
-                                            measure_fn(&job.measure_s));
-      } catch (...) {
-        keep_first_error();
-      }
-      job.total_s = secs(Clock::now() - t0);
-    });
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    pool.submit(
+        [&, j] {
+          PrewarmJob& job = jobs[j];
+          const double cpu0 = thread_cpu_seconds();
+          try {
+            job.result = cache_->get_or_prepare(
+                job.key, measure_fn(&job.measure_cpu_s));
+          } catch (...) {
+            keep_first_error();
+          }
+          job.total_cpu_s = thread_cpu_seconds() - cpu0;
+        },
+        static_cast<double>(jobs[j].key.n_threads));
   }
   pool.wait();
   out.stages.prewarm_wall_s = secs(Clock::now() - prewarm0);
   for (const PrewarmJob& job : jobs) {
-    out.stages.measure_s += job.measure_s;
-    out.stages.translate_s += job.total_s - job.measure_s;
+    out.stages.measure_cpu_s += job.measure_cpu_s;
+    out.stages.translate_cpu_s += job.total_cpu_s - job.measure_cpu_s;
   }
   if (first_error) std::rethrow_exception(first_error);
 
@@ -240,21 +276,35 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
     }
   }
 
-  // Fan the simulations out on the same pool.  Each task writes only its
-  // own grid slot, so completion order is irrelevant to the result; the
-  // first exception is kept and rethrown once the batch has drained.
+  // Fan the simulations out on the same pool, biggest cells first (LPT on
+  // the cell's translated event count x thread count — simulation cost is
+  // linear in replayed events).  Each task writes only its own grid slot,
+  // so completion order is irrelevant to the result; the first exception is
+  // kept and rethrown once the batch has drained.
+  std::vector<double> sim_cpu(grid.size(), 0.0);
+  const auto sim_cost = [&](std::size_t i) {
+    double events = 0;
+    for (const trace::Trace& t : prepared[i]->translated)
+      events += static_cast<double>(t.size());
+    return events;
+  };
   const auto sim0 = Clock::now();
   for (std::size_t i : order) {
-    pool.submit([&, i] {
-      try {
-        out.predictions[i] = predict(*prepared[i], grid[i].params);
-      } catch (...) {
-        keep_first_error();
-      }
-    });
+    pool.submit(
+        [&, i] {
+          const double cpu0 = thread_cpu_seconds();
+          try {
+            out.predictions[i] = predict(*prepared[i], grid[i].params);
+          } catch (...) {
+            keep_first_error();
+          }
+          sim_cpu[i] = thread_cpu_seconds() - cpu0;
+        },
+        sim_cost(i));
   }
   pool.wait();
   out.stages.simulate_wall_s = secs(Clock::now() - sim0);
+  for (double s : sim_cpu) out.stages.simulate_cpu_s += s;
   if (first_error) std::rethrow_exception(first_error);
 
   out.cache_hits = cache_->hits() - hits0;

@@ -31,6 +31,7 @@
 // mutate trace data.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -60,6 +61,13 @@ struct TranslateKeyHash {
 /// sweep.  Insertion is synchronized; each entry is computed exactly once
 /// (concurrent requesters of the same key block until it is ready) and is
 /// immutable afterwards.
+///
+/// The key map is SHARDED by key hash: concurrent lookups of distinct keys
+/// take independent mutexes, so a pool's simulation fan-out (every cell
+/// resolves its trace through here) never serializes on one cache-wide
+/// lock.  Each shard's lock only covers the entry lookup — measurement and
+/// translation run outside it under the entry's own OnceCell, so a slow
+/// miss never blocks hits on other keys of the same shard either.
 class TranslateCache {
  public:
   /// Callback that produces the measured trace for a thread count (runs at
@@ -83,11 +91,18 @@ class TranslateCache {
 
  private:
   struct Entry;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<TranslateKey, std::shared_ptr<Entry>, TranslateKeyHash>
+        map;
+  };
+  static constexpr std::size_t kShards = 16;
+
+  Shard& shard_for(const TranslateKey& key);
+  const Shard& shard_for(const TranslateKey& key) const;
   std::shared_ptr<Entry> entry_for(const TranslateKey& key);
 
-  mutable std::mutex mu_;
-  std::unordered_map<TranslateKey, std::shared_ptr<Entry>, TranslateKeyHash>
-      map_;
+  std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };
@@ -99,12 +114,18 @@ struct SweepPoint {
   std::string label;  ///< free-form series tag (machine name, hypothesis, …)
 };
 
-/// Per-stage timing of one sweep, for the scaling benchmarks.  measure_s
-/// and translate_s are CPU-side sums across pre-warm jobs (they overlap on
-/// the pool); the *_wall_s fields are elapsed wall time of each stage.
+/// Per-stage timing of one sweep, for the scaling benchmarks.  Every stage
+/// reports BOTH views: *_cpu_s sums per-job thread-CPU seconds
+/// (CLOCK_THREAD_CPUTIME_ID — actual work done, immune to oversubscription
+/// and time-slicing), and *_wall_s is the elapsed wall-clock of the stage.
+/// Parallelism pays when wall shrinks while the CPU sum stays flat; a CPU
+/// sum that inflates with the worker count is real contention.  (The old
+/// per-job *wall*-time sums conflated the two: on an oversubscribed host
+/// they counted time-sliced waiting as "measurement getting slower".)
 struct SweepStages {
-  double measure_s = 0;        ///< summed program measurement seconds
-  double translate_s = 0;      ///< summed translate + compile seconds
+  double measure_cpu_s = 0;    ///< summed program-measurement CPU seconds
+  double translate_cpu_s = 0;  ///< summed translate + compile CPU seconds
+  double simulate_cpu_s = 0;   ///< summed per-cell simulation CPU seconds
   double prewarm_wall_s = 0;   ///< wall time of the measure/translate stage
   double simulate_wall_s = 0;  ///< wall time of the simulation fan-out
 };

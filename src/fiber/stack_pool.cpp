@@ -3,6 +3,7 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -13,19 +14,30 @@ namespace xp::fiber {
 
 namespace {
 
-constexpr std::size_t kMaxFreePerSize = 32;
+constexpr std::size_t kMaxFreePerSize = 32;       // shared pool, per size
+constexpr std::size_t kMaxLocalFreePerSize = 8;   // per-thread cache, per size
 
 std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   return ps;
 }
 
+// Counters are atomics so the lock-free thread-local fast path can account
+// without touching the shared pool's mutex (relaxed: they are statistics,
+// not synchronization).
+struct AtomicStats {
+  std::atomic<std::uint64_t> mapped{0};
+  std::atomic<std::uint64_t> reused{0};
+  std::atomic<std::uint64_t> unmapped{0};
+  std::atomic<std::int64_t> active{0};
+};
+
 struct Pool {
   std::mutex mu;
   // Free stacks keyed by map_bytes.  StackSpan is POD; only map_base and
   // map_bytes matter for pooled entries (top/usable are recomputed).
   std::unordered_map<std::size_t, std::vector<StackSpan>> free_by_size;
-  StackPoolStats stats;
+  AtomicStats stats;
 
   ~Pool() {
     for (auto& [bytes, spans] : free_by_size)
@@ -38,6 +50,44 @@ Pool& pool() {
   return p;
 }
 
+// Per-thread stack cache in front of the shared pool.  A Scheduler is
+// confined to one OS thread and releases a finished fiber's stack on that
+// same thread, so a measurement sweep's fiber churn is served entirely from
+// this cache — no shared-pool mutex on the hot path, which is what let
+// concurrent pool workers measure without serializing on stack recycling.
+// On thread exit the cache drains into the shared pool (the worker that
+// measured first hands its stacks to whichever worker measures next).
+struct LocalCache {
+  Pool* shared;  // captured eagerly: keeps destruction ordered after pool()
+  std::unordered_map<std::size_t, std::vector<StackSpan>> free_by_size;
+
+  explicit LocalCache(Pool* p) : shared(p) {}
+
+  ~LocalCache() {
+    for (auto& [bytes, spans] : free_by_size) {
+      std::vector<StackSpan> overflow;
+      {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        auto& dst = shared->free_by_size[bytes];
+        for (StackSpan& s : spans) {
+          if (dst.size() < kMaxFreePerSize)
+            dst.push_back(s);
+          else
+            overflow.push_back(s);
+        }
+      }
+      shared->stats.unmapped.fetch_add(overflow.size(),
+                                       std::memory_order_relaxed);
+      for (const StackSpan& s : overflow) ::munmap(s.map_base, s.map_bytes);
+    }
+  }
+};
+
+LocalCache& local_cache() {
+  thread_local LocalCache cache(&pool());
+  return cache;
+}
+
 }  // namespace
 
 StackSpan stack_acquire(std::size_t usable_bytes) {
@@ -47,14 +97,25 @@ StackSpan stack_acquire(std::size_t usable_bytes) {
   const std::size_t map_bytes = usable + ps;  // + guard page
 
   Pool& p = pool();
+  LocalCache& local = local_cache();
+  {
+    auto it = local.free_by_size.find(map_bytes);
+    if (it != local.free_by_size.end() && !it->second.empty()) {
+      StackSpan s = it->second.back();
+      it->second.pop_back();
+      p.stats.reused.fetch_add(1, std::memory_order_relaxed);
+      p.stats.active.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(p.mu);
     auto it = p.free_by_size.find(map_bytes);
     if (it != p.free_by_size.end() && !it->second.empty()) {
       StackSpan s = it->second.back();
       it->second.pop_back();
-      ++p.stats.reused;
-      ++p.stats.active;
+      p.stats.reused.fetch_add(1, std::memory_order_relaxed);
+      p.stats.active.fetch_add(1, std::memory_order_relaxed);
       return s;
     }
   }
@@ -70,45 +131,58 @@ StackSpan stack_acquire(std::size_t usable_bytes) {
   s.map_bytes = map_bytes;
   s.top = static_cast<char*>(base) + map_bytes;
   s.usable = usable;
-  {
-    std::lock_guard<std::mutex> lock(p.mu);
-    ++p.stats.mapped;
-    ++p.stats.active;
-  }
+  p.stats.mapped.fetch_add(1, std::memory_order_relaxed);
+  p.stats.active.fetch_add(1, std::memory_order_relaxed);
   return s;
 }
 
 void stack_release(StackSpan s) {
   if (!s) return;
   Pool& p = pool();
+  p.stats.active.fetch_sub(1, std::memory_order_relaxed);
+  auto& local = local_cache().free_by_size[s.map_bytes];
+  if (local.size() < kMaxLocalFreePerSize) {
+    local.push_back(s);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(p.mu);
-    --p.stats.active;
     auto& spans = p.free_by_size[s.map_bytes];
     if (spans.size() < kMaxFreePerSize) {
       spans.push_back(s);
       return;
     }
-    ++p.stats.unmapped;
   }
+  p.stats.unmapped.fetch_add(1, std::memory_order_relaxed);
   ::munmap(s.map_base, s.map_bytes);
 }
 
 StackPoolStats stack_pool_stats() {
   Pool& p = pool();
-  std::lock_guard<std::mutex> lock(p.mu);
-  return p.stats;
+  StackPoolStats out;
+  out.mapped = p.stats.mapped.load(std::memory_order_relaxed);
+  out.reused = p.stats.reused.load(std::memory_order_relaxed);
+  out.unmapped = p.stats.unmapped.load(std::memory_order_relaxed);
+  const std::int64_t active = p.stats.active.load(std::memory_order_relaxed);
+  out.active = active > 0 ? static_cast<std::uint64_t>(active) : 0;
+  return out;
 }
 
 void stack_pool_trim() {
   Pool& p = pool();
   std::unordered_map<std::size_t, std::vector<StackSpan>> drop;
+  local_cache().free_by_size.swap(drop);
   {
     std::lock_guard<std::mutex> lock(p.mu);
-    drop.swap(p.free_by_size);
-    for (const auto& [bytes, spans] : drop)
-      p.stats.unmapped += spans.size();
+    for (auto& [bytes, spans] : p.free_by_size) {
+      auto& dst = drop[bytes];
+      dst.insert(dst.end(), spans.begin(), spans.end());
+    }
+    p.free_by_size.clear();
   }
+  std::uint64_t n = 0;
+  for (const auto& [bytes, spans] : drop) n += spans.size();
+  p.stats.unmapped.fetch_add(n, std::memory_order_relaxed);
   for (const auto& [bytes, spans] : drop)
     for (const StackSpan& s : spans) ::munmap(s.map_base, s.map_bytes);
 }

@@ -6,16 +6,22 @@
 //    end, so running off the end of a fiber stack faults immediately
 //    instead of silently corrupting neighboring allocations (the heap-stack
 //    failure mode of the ucontext fallback);
-//  * released stacks go to a process-wide free list keyed by mapped size
-//    and are reused by later fibers — a measurement sweep spawning
-//    thousands of short-lived fibers pays the mmap/mprotect syscalls only
-//    for its high-water mark.  The Scheduler releases a stack as soon as
-//    its fiber finishes (a Finished fiber is never resumed), so the
-//    high-water mark is the peak number of *started, unfinished* fibers,
-//    not the spawn count.
+//  * released stacks go to a free list keyed by mapped size and are reused
+//    by later fibers — a measurement sweep spawning thousands of
+//    short-lived fibers pays the mmap/mprotect syscalls only for its
+//    high-water mark.  The Scheduler releases a stack as soon as its fiber
+//    finishes (a Finished fiber is never resumed), so the high-water mark
+//    is the peak number of *started, unfinished* fibers, not the spawn
+//    count.
 //
-// The free list holds at most kMaxFreePerSize stacks per size class;
-// further releases unmap immediately, bounding idle memory.
+// The free list is two-level: a lock-free THREAD-LOCAL cache in front of a
+// mutex-guarded process-wide pool.  Schedulers are confined to one OS
+// thread and release stacks on the acquiring thread, so steady-state fiber
+// churn (the sweep engine's concurrent measurements) recycles stacks
+// entirely within each pool worker — zero shared-mutex traffic on the hot
+// path.  A thread's cache drains into the shared pool when the thread
+// exits.  Each level holds a bounded number of stacks per size class;
+// overflow unmaps immediately, bounding idle memory.
 #pragma once
 
 #include <cstddef>
@@ -51,8 +57,10 @@ void stack_release(StackSpan s);
 
 StackPoolStats stack_pool_stats();
 
-/// Unmap every pooled (free) stack.  Tests use this to take delta-free
-/// baselines; safe at any time, acquired stacks are unaffected.
+/// Unmap every pooled (free) stack reachable from this thread: the shared
+/// pool plus the calling thread's local cache (other threads' caches drain
+/// when those threads exit).  Tests use this to take delta-free baselines;
+/// safe at any time, acquired stacks are unaffected.
 void stack_pool_trim();
 
 }  // namespace xp::fiber

@@ -12,6 +12,7 @@
 #include <map>
 #include <memory>
 #include <sstream>
+#include <thread>
 #include <utility>
 
 #include "core/extrapolator.hpp"
@@ -21,6 +22,7 @@
 #include "trace/trace_io.hpp"
 #include "util/error.hpp"
 #include "util/once_cell.hpp"
+#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 namespace xp::core {
@@ -165,11 +167,12 @@ TEST(SweepRunner, FactoryPathMatchesSeededPath) {
 
   // The factory path did real measurements through the pre-warm stage, so
   // the per-stage breakdown must account for them; the seeded path never
-  // measures.
-  EXPECT_GT(from_factory.stages.measure_s, 0.0);
+  // measures.  Both CPU-sum and wall views must be populated.
+  EXPECT_GT(from_factory.stages.measure_cpu_s, 0.0);
   EXPECT_GT(from_factory.stages.prewarm_wall_s, 0.0);
   EXPECT_GT(from_factory.stages.simulate_wall_s, 0.0);
-  EXPECT_EQ(from_seed.stages.measure_s, 0.0);
+  EXPECT_GT(from_factory.stages.simulate_cpu_s, 0.0);
+  EXPECT_EQ(from_seed.stages.measure_cpu_s, 0.0);
 }
 
 TEST(SweepRunner, DeterministicAcrossRunsAndSubmissionOrders) {
@@ -197,6 +200,73 @@ TEST(SweepRunner, DeterministicAcrossRunsAndSubmissionOrders) {
     if (i % 2 == 1) shuffled.push_back(i);
   const std::string third = run_with(shuffled);
   EXPECT_EQ(first, third) << "submission order leaked into the results";
+}
+
+// Property test: for a RANDOMIZED grid (random sizes, random machine per
+// cell, random duplicate structure) and a RANDOMIZED submission order,
+// predictions are bitwise-identical across n_workers ∈ {1, 2, 8}, identical
+// to the sequential Extrapolator path, and the cache accounting invariant
+// `hits + misses == grid size` holds in every configuration.  The RNG is
+// seeded per round, so failures reproduce exactly.
+TEST(SweepRunner, RandomizedGridsAreWorkerCountInvariant) {
+  const std::vector<model::SimParams> machines = {
+      model::distributed_preset(), model::shared_memory_preset(),
+      model::cm5_preset(), model::paragon_preset(), model::ideal_preset()};
+
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    util::Xoshiro256ss rng(0xC0FFEE00ull + round);
+
+    // 6–20 cells, thread counts drawn from {1..8} with repeats so the
+    // cache sees both misses and hits.
+    const std::size_t cells = 6 + rng.next_below(15);
+    std::vector<SweepPoint> grid;
+    for (std::size_t i = 0; i < cells; ++i) {
+      SweepPoint p;
+      p.n_threads = 1 + static_cast<int>(rng.next_below(8));
+      p.params = machines[rng.next_below(machines.size())];
+      p.label = "cell" + std::to_string(i);
+      grid.push_back(std::move(p));
+    }
+    const auto traces = measure_all(grid);
+
+    std::vector<Prediction> reference;
+    for (const auto& p : grid)
+      reference.push_back(
+          Extrapolator(p.params).extrapolate_trace(traces.at(p.n_threads)));
+
+    std::string first_serial;
+    for (int workers : {1, 2, 8}) {
+      std::vector<std::size_t> order(grid.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      util::shuffle(order, rng);  // a fresh random permutation per config
+
+      SweepOptions opt;
+      opt.n_workers = workers;
+      opt.submit_order = std::move(order);
+      SweepRunner runner(opt);
+      for (const auto& [n, t] : traces) runner.seed_trace(t);
+      const SweepResult result = runner.run(grid);
+
+      ASSERT_EQ(result.predictions.size(), grid.size());
+      EXPECT_EQ(result.cache_hits + result.cache_misses, grid.size())
+          << "round=" << round << " workers=" << workers;
+      // Seeded runner: every key was covered by seed_trace, so no misses.
+      EXPECT_EQ(result.cache_misses, 0u)
+          << "round=" << round << " workers=" << workers;
+      for (std::size_t i = 0; i < grid.size(); ++i)
+        expect_equal(result.predictions[i], reference[i],
+                     "round=" + std::to_string(round) + " workers=" +
+                         std::to_string(workers) + " point=" +
+                         std::to_string(i));
+      const std::string serial = serialize(result);
+      if (first_serial.empty())
+        first_serial = serial;
+      else
+        EXPECT_EQ(serial, first_serial)
+            << "round=" << round << " workers=" << workers
+            << ": worker count leaked into the results";
+    }
+  }
 }
 
 TEST(SweepRunner, RunGridBuildsMachineMajorCrossProduct) {
@@ -319,6 +389,113 @@ TEST(TranslateCache, MeasuresOncePerKeyUnderConcurrency) {
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.misses(), 1u);
   EXPECT_EQ(cache.hits(), 31u);
+}
+
+// Concurrency regression for the sharded cache: N threads hammer
+// get_or_prepare over OVERLAPPING keys.  Exactly one miss (one measurement)
+// per distinct key, every other call a hit, and every returned translation
+// complete and shared — the invariants that hold the sweep's
+// `hits + misses == grid size` accounting together under any interleaving.
+// Runs under TSan in CI, which is what holds the "no torn reads" half.
+TEST(TranslateCache, ConcurrentOverlappingKeysMissOncePerKey) {
+  constexpr int kThreads = 8;
+  constexpr int kDistinctKeys = 4;
+  constexpr int kRoundsPerThread = 8;
+
+  TranslateCache cache;
+  std::atomic<int> measurements{0};
+  const TranslateCache::Measure measure = [&](int n) {
+    ++measurements;
+    SweepProgram prog;
+    rt::MeasureOptions mo;
+    mo.n_threads = n;
+    return rt::measure(prog, mo);
+  };
+
+  util::ThreadPool pool(kThreads);
+  std::vector<std::shared_ptr<const TranslatedTrace>> got(
+      kThreads * kDistinctKeys * kRoundsPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.submit([&, t] {
+      for (int r = 0; r < kRoundsPerThread; ++r) {
+        for (int k = 0; k < kDistinctKeys; ++k) {
+          TranslateKey key;
+          // Interleave key order per thread so lookups collide hard.
+          key.n_threads = 1 + (k + t + r) % kDistinctKeys;
+          const auto v = cache.get_or_prepare(key, measure);
+          got[static_cast<std::size_t>(
+              (t * kRoundsPerThread + r) * kDistinctKeys + k)] = v;
+        }
+      }
+    });
+  }
+  pool.wait();
+
+  EXPECT_EQ(measurements.load(), kDistinctKeys);
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kDistinctKeys));
+  EXPECT_EQ(cache.misses(), static_cast<std::uint64_t>(kDistinctKeys));
+  EXPECT_EQ(cache.hits(),
+            static_cast<std::uint64_t>(kThreads * kDistinctKeys *
+                                       kRoundsPerThread - kDistinctKeys));
+  // Every caller got the complete, shared translation for its key: same
+  // pointer per key, fully populated.
+  std::map<int, const TranslatedTrace*> canonical;
+  for (const auto& v : got) {
+    ASSERT_NE(v, nullptr);
+    EXPECT_GE(v->n_threads, 1);
+    EXPECT_EQ(v->translated.size(),
+              static_cast<std::size_t>(v->n_threads));
+    auto [it, inserted] = canonical.emplace(v->n_threads, v.get());
+    if (!inserted) {
+      EXPECT_EQ(it->second, v.get());
+    }
+  }
+}
+
+// put() followed by concurrent get(): a reader either sees nothing or the
+// complete immutable entry — never a partially-constructed translation.
+TEST(TranslateCache, ConcurrentGetDuringPutNeverReturnsPartialEntries) {
+  SweepProgram prog;
+  rt::MeasureOptions mo;
+  mo.n_threads = 3;
+  const trace::Trace t = rt::measure(prog, mo);
+
+  for (int round = 0; round < 8; ++round) {
+    TranslateCache cache;
+    TranslateKey key;
+    key.n_threads = 3;
+
+    util::ThreadPool pool(4);
+    std::atomic<bool> stop{false};
+    std::atomic<int> complete_views{0};
+    for (int r = 0; r < 3; ++r) {
+      pool.submit([&] {
+        const auto check = [&](const std::shared_ptr<const TranslatedTrace>& v)
+            -> bool {
+          if (!v) return false;
+          // Entry visible => fully constructed.
+          EXPECT_EQ(v->n_threads, 3);
+          EXPECT_EQ(v->translated.size(), 3u);
+          EXPECT_NE(v->compiled, nullptr);
+          ++complete_views;
+          return true;
+        };
+        while (!stop.load()) {
+          check(cache.get(key));
+          std::this_thread::yield();
+        }
+        // put() happened-before stop, so the entry must be visible now.
+        EXPECT_TRUE(check(cache.get(key)));
+      });
+    }
+    pool.submit([&] {
+      cache.put(t);
+      stop.store(true);
+    });
+    pool.wait();
+    ASSERT_NE(cache.get(key), nullptr);
+    EXPECT_GT(complete_views.load(), 0);
+  }
 }
 
 TEST(ThreadPool, DrainsAllTasksAndIsReusable) {

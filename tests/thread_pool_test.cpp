@@ -1,0 +1,259 @@
+// Stress battery for the work-stealing util::ThreadPool (PR 6 rebuild).
+//
+// The pool's contract (util/thread_pool.hpp): every submitted task runs
+// exactly once on some worker; wait() covers everything submitted so far,
+// including tasks submitted BY running tasks; one pool serves many batches
+// back to back; hinted submits drain in descending cost order (LPT); and
+// none of it is allowed to lose, duplicate, or reorder-by-index any work.
+// The whole battery runs under TSan in CI — the Chase–Lev deque's atomics
+// are exactly the kind of code a sanitizer has to hold honest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace xp::util {
+namespace {
+
+TEST(ThreadPool, RequiresAtLeastOneWorker) {
+  EXPECT_THROW(ThreadPool(0), util::Error);
+  EXPECT_THROW(ThreadPool(-3), util::Error);
+}
+
+TEST(ThreadPool, WaitAcrossBatchesReusesTheSamePool) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 5; ++round) {
+    const int batch = 50 + round * 37;  // varying batch sizes
+    for (int i = 0; i < batch; ++i) pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), batch) << "wait() returned before batch drained";
+    count.store(0);
+    // wait() on an idle pool returns immediately.
+    pool.wait();
+  }
+}
+
+TEST(ThreadPool, SubmitFromInsideATaskIsCoveredByWait) {
+  ThreadPool pool(4);
+  std::atomic<int> leaves{0};
+  // A task tree: each root fans out children from inside the pool; wait()
+  // must not return until the whole tree has run.
+  constexpr int kRoots = 8;
+  constexpr int kChildren = 16;
+  constexpr int kGrandchildren = 4;
+  for (int r = 0; r < kRoots; ++r) {
+    pool.submit([&] {
+      for (int c = 0; c < kChildren; ++c) {
+        pool.submit([&] {
+          for (int g = 0; g < kGrandchildren; ++g)
+            pool.submit([&] { ++leaves; });
+        });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(leaves.load(), kRoots * kChildren * kGrandchildren);
+}
+
+TEST(ThreadPool, CurrentWorkerIndexInsideAndOutside) {
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::set<int> seen;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      const int w = ThreadPool::current_worker();
+      std::lock_guard<std::mutex> lock(mu);
+      seen.insert(w);
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(ThreadPool::current_worker(), -1);
+  for (int w : seen) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 3);
+  }
+}
+
+// Steal-heavy skewed workload: ONE task (pinned to whichever worker claims
+// it) spawns the entire fan-out into its own deque.  The other workers see
+// an empty injector and must steal to participate; every spawned task must
+// still run exactly once.
+TEST(ThreadPool, StealHeavySkewedFanOut) {
+  constexpr int kWorkers = 4;
+  constexpr int kTasks = 4096;
+  ThreadPool pool(kWorkers);
+  std::vector<std::atomic<int>> ran(kTasks);
+  for (auto& r : ran) r.store(0);
+  std::mutex mu;
+  std::set<int> workers_seen;
+
+  pool.submit([&] {
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&, i] {
+        ran[static_cast<std::size_t>(i)].fetch_add(1);
+        const int w = ThreadPool::current_worker();
+        std::lock_guard<std::mutex> lock(mu);
+        workers_seen.insert(w);
+      });
+    }
+  });
+  pool.wait();
+
+  for (int i = 0; i < kTasks; ++i)
+    ASSERT_EQ(ran[static_cast<std::size_t>(i)].load(), 1)
+        << "task " << i << " lost or duplicated";
+  // Thieves joined in (guaranteed on multi-core hosts; on a 1-CPU host the
+  // spawner may legitimately finish everything itself).
+  if (std::thread::hardware_concurrency() >= 2) {
+    EXPECT_GE(workers_seen.size(), 1u);
+  }
+}
+
+// The exception-stashing pattern the pool's "tasks must not throw"
+// contract prescribes (and core::SweepRunner uses): wrap fallible work,
+// keep the first error, rethrow after the batch drains.
+TEST(ThreadPool, ExceptionStashingPatternDeliversFirstError) {
+  ThreadPool pool(4);
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&, i] {
+      try {
+        if (i % 10 == 3) throw util::Error("task " + std::to_string(i));
+        ++completed;
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(completed.load(), 90);
+  ASSERT_TRUE(first_error != nullptr);
+  EXPECT_THROW(std::rethrow_exception(first_error), util::Error);
+}
+
+// 10k-task churn: many small batches with varying shapes — external
+// submits, nested submits, and both mixed — must neither lose a task nor
+// wedge a worker.
+TEST(ThreadPool, TenThousandTaskChurn) {
+  ThreadPool pool(8);
+  std::atomic<std::int64_t> sum{0};
+  std::int64_t expected = 0;
+  int submitted = 0;
+  int batch_no = 0;
+  while (submitted < 10000) {
+    const int batch = 1 + (batch_no * 7) % 23;
+    ++batch_no;
+    for (int i = 0; i < batch && submitted < 10000; ++i, ++submitted) {
+      const std::int64_t v = submitted;
+      expected += v;
+      if (v % 3 == 0) {
+        // Nested: an outer task submits the real work from a worker.
+        expected += 1000000;
+        pool.submit([&, v] {
+          sum.fetch_add(v);
+          pool.submit([&] { sum.fetch_add(1000000); });
+        });
+      } else {
+        pool.submit([&, v] { sum.fetch_add(v); });
+      }
+    }
+    if (batch_no % 5 == 0) pool.wait();  // interleave waits with submits
+  }
+  pool.wait();
+  EXPECT_EQ(sum.load(), expected);
+}
+
+// LPT hints: with one worker and a blocked queue, hinted tasks must drain
+// in descending cost order regardless of submission order, and unhinted
+// tasks keep FIFO order among themselves behind the hinted ones.
+TEST(ThreadPool, CostHintsDrainLargestFirst) {
+  ThreadPool pool(1);
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+
+  // Occupy the single worker so subsequent submits queue up in the
+  // injector instead of being consumed as they arrive.
+  pool.submit([&] {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+  });
+
+  std::vector<int> order;
+  std::mutex order_mu;
+  const auto record = [&](int id) {
+    std::lock_guard<std::mutex> lock(order_mu);
+    order.push_back(id);
+  };
+  // Submitted smallest-first on purpose; hints must invert the order.
+  pool.submit([&] { record(1); }, 1.0);
+  pool.submit([&] { record(2); }, 2.0);
+  pool.submit([&] { record(3); }, 3.0);
+  pool.submit([&] { record(4); }, 4.0);
+  // Unhinted (hint 0) tasks trail the hinted ones, FIFO among themselves.
+  pool.submit([&] { record(100); });
+  pool.submit([&] { record(101); });
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.wait();
+  EXPECT_EQ(order, (std::vector<int>{4, 3, 2, 1, 100, 101}));
+}
+
+// Destruction with queued work: "pending tasks are still executed first".
+TEST(ThreadPool, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 500; ++i) pool.submit([&] { ++ran; });
+    // No wait(): the destructor must drain.
+  }
+  EXPECT_EQ(ran.load(), 500);
+}
+
+// Heavy mixed contention: several external threads submitting concurrently
+// while workers also spawn nested tasks — the counters must balance.
+TEST(ThreadPool, ConcurrentExternalSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 250;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i)
+        pool.submit([&, i] {
+          count.fetch_add(1);
+          // Every 50th task (by submit index, so the count is
+          // deterministic) also spawns a nested task from the worker.
+          if (i % 50 == 0) pool.submit([&] { count.fetch_add(1); });
+        });
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.wait();
+  const int direct = kSubmitters * kPerSubmitter;
+  const int nested = kSubmitters * ((kPerSubmitter + 49) / 50);
+  EXPECT_EQ(count.load(), direct + nested);
+}
+
+}  // namespace
+}  // namespace xp::util
