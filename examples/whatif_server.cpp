@@ -1,0 +1,58 @@
+// whatif_server — run the extrapolation-as-a-service daemon.
+//
+// Starts an xp::serve::Server on a Unix-domain socket and/or a loopback
+// TCP port, then serves what-if queries until SIGINT/SIGTERM (or a client
+// Shutdown verb) asks it to drain and exit.  The interesting state — the
+// per-source translate caches — lives for the process lifetime, so the
+// second client to ask about the same trace pays only simulation cost.
+//
+//   ./whatif_server --socket=/tmp/xp.sock
+//   ./whatif_server --tcp=7070 --workers=8 --cache-mb=64
+#include <iostream>
+
+#include "serve/server.hpp"
+#include "util/args.hpp"
+
+using namespace xp;
+
+int main(int argc, char** argv) {
+  util::ArgParser args("whatif_server",
+                       "serve what-if extrapolation queries over a socket");
+  args.add_option("socket", "", "unix-domain socket path (empty = none)");
+  args.add_option("tcp", "-1",
+                  "loopback TCP port (-1 = none, 0 = ephemeral)");
+  args.add_option("workers", "0", "query workers (0 = hardware concurrency)");
+  args.add_option("cache-mb", "0",
+                  "translate-cache byte budget per source, MiB (0 = unbounded)");
+  args.add_option("grace", "5", "shutdown drain grace period, seconds");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    serve::ServerOptions opt;
+    opt.unix_path = args.get("socket");
+    opt.tcp_port = static_cast<int>(args.get_int("tcp"));
+    opt.grace_seconds = args.get_double("grace");
+    opt.service.n_workers = static_cast<int>(args.get_int("workers"));
+    opt.service.cache_budget_bytes =
+        static_cast<std::size_t>(args.get_int("cache-mb")) << 20;
+    if (opt.unix_path.empty() && opt.tcp_port < 0) {
+      std::cerr << "error: need --socket and/or --tcp\n" << args.usage();
+      return 1;
+    }
+
+    serve::Server server(std::move(opt));
+    serve::Server::stop_on_signals(server);
+    if (!server.unix_path().empty())
+      std::cout << "listening on unix:" << server.unix_path() << '\n';
+    if (server.tcp_port() >= 0)
+      std::cout << "listening on tcp:localhost:" << server.tcp_port() << '\n';
+    std::cout.flush();
+
+    server.run();
+    std::cout << "server drained, exiting\n";
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

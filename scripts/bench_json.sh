@@ -1,9 +1,9 @@
 #!/bin/sh
 # Perf-regression harness: run the engine micro-benchmarks (short
-# iterations) plus the sweep-scaling harness and distill them into
-# BENCH_sim.json at the repository root — one items/sec (or seconds)
-# entry per benchmark, stable keys, so two checkouts can be diffed with
-# `jq` or eyeballed in a PR.
+# iterations) plus the sweep-scaling and serve-QPS harnesses and distill
+# them into BENCH_sim.json at the repository root — one items/sec (or
+# seconds) entry per benchmark, stable keys, so two checkouts can be
+# diffed with `jq` or eyeballed in a PR.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 #
@@ -20,14 +20,17 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-[ -x "$BUILD/bench/micro_engine" ] || {
-  echo "error: $BUILD/bench/micro_engine not built" >&2
-  exit 1
-}
+for bin in micro_engine abl_sweep_scaling abl_serve_qps; do
+  [ -x "$BUILD/bench/$bin" ] || {
+    echo "error: $BUILD/bench/$bin not built" >&2
+    exit 1
+  }
+done
 
 raw_json=$(mktemp)
 sweep_log=$(mktemp)
-trap 'rm -f "$raw_json" "$sweep_log"' EXIT
+serve_log=$(mktemp)
+trap 'rm -f "$raw_json" "$sweep_log" "$serve_log"' EXIT
 
 "$BUILD/bench/micro_engine" \
   --benchmark_min_time=0.2 \
@@ -37,12 +40,16 @@ trap 'rm -f "$raw_json" "$sweep_log"' EXIT
 
 "$BUILD/bench/abl_sweep_scaling" | tee "$sweep_log" >&2
 
-python3 - "$raw_json" "$sweep_log" <<'PY'
+# The serve load generator also shape-checks that every served prediction
+# is bitwise-reproducible; missing rows fail the serve gate below.
+"$BUILD/bench/abl_serve_qps" | tee "$serve_log" >&2
+
+python3 - "$raw_json" "$sweep_log" "$serve_log" <<'PY'
 import json
 import re
 import sys
 
-raw, sweep_log = sys.argv[1], sys.argv[2]
+raw, sweep_log, serve_log = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(raw) as f:
     data = json.load(f)
 
@@ -95,14 +102,32 @@ with open(sweep_log) as f:
                 "speedup_vs_sequential": float(m.group(8)),
             }
 
+# Serve harness: "serve_qps clients=N batch=B qps=... p50_us=... p99_us=..."
+# rows from the warm-cache daemon load generator (bench/abl_serve_qps).
+serve = {}
+with open(serve_log) as f:
+    for line in f:
+        m = re.match(
+            r"serve_qps clients=(\d+) batch=(\d+) qps=([0-9.]+)"
+            r" p50_us=([0-9.]+) p99_us=([0-9.]+)", line)
+        if m:
+            serve[f"serve_qps_clients_{m.group(1)}"] = {
+                "batch": int(m.group(2)),
+                "qps": float(m.group(3)),
+                "p50_us": float(m.group(4)),
+                "p99_us": float(m.group(5)),
+            }
+
 out = {
-    "schema": "xp-bench-sim/2",
+    "schema": "xp-bench-sim/3",
     "hw_concurrency": hw,
-    "source": ["bench/micro_engine", "bench/abl_sweep_scaling"],
+    "source": ["bench/micro_engine", "bench/abl_sweep_scaling",
+               "bench/abl_serve_qps"],
     "note": "items_per_second is best-of-5 repetitions; "
             "see scripts/bench_json.sh for methodology",
     "benchmarks": dict(sorted(best.items())),
     "sweep": sweep,
+    "serve": serve,
 }
 
 # Embed the committed pre-overhaul numbers (measured with the identical
@@ -130,7 +155,8 @@ with open("BENCH_sim.json", "w") as f:
     json.dump(out, f, indent=2)
     f.write("\n")
 print("wrote BENCH_sim.json "
-      f"({len(best)} micro benchmarks, {len(sweep)} sweep rows)")
+      f"({len(best)} micro benchmarks, {len(sweep)} sweep rows, "
+      f"{len(serve)} serve rows)")
 
 # --- Regression gates -------------------------------------------------
 # Both gates always run (a fiber pass must not short-circuit the sweep
@@ -222,6 +248,28 @@ else:
     else:
         print(f"sweep gate: 8-worker floor skipped (host exposes {hw} "
               "CPU(s))")
+
+# Gate 3: serve warm-cache latency/throughput.  A served what-if query is
+# one protocol round-trip plus one simulation of an already-translated
+# trace, so even a single client over a unix socket must clear 1k QPS on
+# the golden grid_n4 fixture; falling below means the daemon added real
+# per-query overhead (framing copies, lock contention, pool stalls).
+# Host-independent-ish floor: the fixture simulation itself is ~30 us.
+if not serve:
+    print("serve gate: FAIL — serve_qps rows missing from abl_serve_qps "
+          "output (format drift?)", file=sys.stderr)
+    failed = True
+else:
+    peak = max(row["qps"] for row in serve.values())
+    if peak < 1000.0:
+        print(f"serve gate: FAIL — peak warm-cache throughput is "
+              f"{peak:.0f} QPS (need >= 1000; set XP_BENCH_NO_GATE=1 to "
+              "override)", file=sys.stderr)
+        failed = True
+    else:
+        worst_p99 = max(row["p99_us"] for row in serve.values())
+        print(f"serve gate: OK (peak {peak:.0f} QPS, worst p99 "
+              f"{worst_p99:.0f} us)")
 
 sys.exit(1 if failed else 0)
 PY

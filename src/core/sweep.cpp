@@ -53,7 +53,91 @@ std::size_t TranslateKeyHash::operator()(const TranslateKey& k) const {
 
 struct TranslateCache::Entry {
   util::OnceCell<std::shared_ptr<const TranslatedTrace>> cell;
+  std::atomic<std::uint64_t> last_use{0};  ///< LRU tick of the last access
+  std::atomic<std::size_t> bytes{0};       ///< footprint once computed
 };
+
+void TranslateCache::touch(Entry& e) const {
+  e.last_use.store(tick_.fetch_add(1) + 1, std::memory_order_relaxed);
+}
+
+std::size_t TranslateCache::footprint_bytes(const TranslatedTrace& tt) {
+  std::size_t b = sizeof(TranslatedTrace);
+  for (const trace::Trace& t : tt.translated)
+    b += t.size() * sizeof(trace::Event);
+  if (tt.compiled) {
+    for (const CompiledThread& th : tt.compiled->threads) {
+      b += th.ops.size() * (sizeof(OpKind) + sizeof(Time)) +
+           th.proto.size() * sizeof(trace::Event) +
+           th.remotes.size() * sizeof(RemoteRec) +
+           th.barrier_ids.size() * sizeof(std::int32_t);
+    }
+  }
+  return b;
+}
+
+void TranslateCache::account_insert(Entry& e, const TranslatedTrace& tt) {
+  const std::size_t b = footprint_bytes(tt);
+  e.bytes.store(b, std::memory_order_relaxed);
+  bytes_.fetch_add(b, std::memory_order_relaxed);
+  evict_to_budget();
+}
+
+void TranslateCache::set_byte_budget(std::size_t budget) {
+  budget_.store(budget);
+  evict_to_budget();
+}
+
+// Evict least-recently-used COMPLETED entries until the estimated bytes fit
+// the budget again.  Concurrency notes: each pass re-scans the shards under
+// their locks, so two racing evictors can pick the same victim — only the
+// one that still finds it in the map erases it and adjusts the accounting.
+// Entries still computing have unknown size and an imminent user; they are
+// skipped (their own account_insert() re-runs eviction once they finish).
+// The most recently used completed entry is never evicted, so a single
+// over-budget translation stays usable instead of thrashing miss-evict.
+void TranslateCache::evict_to_budget() {
+  const std::size_t budget = budget_.load();
+  if (budget == 0) return;
+  while (bytes_.load(std::memory_order_relaxed) > budget) {
+    TranslateKey victim_key{};
+    std::size_t victim_shard = 0;
+    std::uint64_t victim_tick = 0;
+    std::uint64_t newest_tick = 0;
+    std::size_t completed = 0;
+    bool found = false;
+    for (std::size_t s = 0; s < kShards; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      for (const auto& [key, entry] : shards_[s].map) {
+        if (entry->cell.peek() == nullptr) continue;  // still computing
+        const std::uint64_t t = entry->last_use.load(std::memory_order_relaxed);
+        newest_tick = std::max(newest_tick, t);
+        ++completed;
+        if (!found || t < victim_tick) {
+          found = true;
+          victim_key = key;
+          victim_shard = s;
+          victim_tick = t;
+        }
+      }
+    }
+    // Nothing evictable, or the LRU entry is also the newest (it is the
+    // only completed entry): keep it.
+    if (!found || completed <= 1 || victim_tick == newest_tick) return;
+    Shard& shard = shards_[victim_shard];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(victim_key);
+    if (it == shard.map.end()) continue;  // a racing evictor beat us to it
+    // Re-check the tick: a toucher may have promoted the victim since the
+    // scan; if so, rescan rather than evict a hot entry.
+    if (it->second->last_use.load(std::memory_order_relaxed) != victim_tick)
+      continue;
+    bytes_.fetch_sub(it->second->bytes.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    shard.map.erase(it);
+  }
+}
 
 TranslateCache::Shard& TranslateCache::shard_for(const TranslateKey& key) {
   // Top bits of the FNV hash: unordered_map buckets use the low bits, so
@@ -90,10 +174,13 @@ std::shared_ptr<const TranslatedTrace> TranslateCache::get_or_prepare(
     return std::make_shared<const TranslatedTrace>(
         prepare_trace(measured, key.topt));
   });
-  if (computed)
+  touch(*entry);
+  if (computed) {
     misses_.fetch_add(1);
-  else
+    account_insert(*entry, *value);
+  } else {
     hits_.fetch_add(1);
+  }
   return value;
 }
 
@@ -104,10 +191,14 @@ void TranslateCache::put(const trace::Trace& measured,
   key.topt = topt;
   XP_REQUIRE(key.n_threads >= 1, "seed trace needs n_threads >= 1");
   const auto entry = entry_for(key);
-  entry->cell.get_or_init([&] {
+  bool computed = false;
+  const auto& value = entry->cell.get_or_init([&] {
+    computed = true;
     return std::make_shared<const TranslatedTrace>(
         prepare_trace(measured, topt));
   });
+  touch(*entry);
+  if (computed) account_insert(*entry, *value);
 }
 
 std::shared_ptr<const TranslatedTrace> TranslateCache::get(
@@ -124,6 +215,7 @@ std::shared_ptr<const TranslatedTrace> TranslateCache::get(
   // get() observes either nothing or the complete immutable translation —
   // never a partially-constructed one.
   const auto* v = entry->cell.peek();
+  if (v) touch(*entry);
   return v ? *v : nullptr;
 }
 

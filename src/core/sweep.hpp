@@ -68,6 +68,15 @@ struct TranslateKeyHash {
 /// lock.  Each shard's lock only covers the entry lookup — measurement and
 /// translation run outside it under the entry's own OnceCell, so a slow
 /// miss never blocks hits on other keys of the same shard either.
+///
+/// Long-lived holders (the xp::serve daemon keeps one cache per source hot
+/// for the process lifetime) can cap the resident footprint with
+/// set_byte_budget(): when the estimated bytes of completed entries exceed
+/// the budget, the least-recently-used completed entries are evicted until
+/// the cache fits again (the most recently used entry is always retained,
+/// so a single oversized translation cannot evict itself into a thrash
+/// loop).  Eviction only drops the cache's reference — holders of the
+/// shared_ptr keep their immutable translation alive.
 class TranslateCache {
  public:
   /// Callback that produces the measured trace for a thread count (runs at
@@ -89,6 +98,18 @@ class TranslateCache {
   std::uint64_t hits() const { return hits_.load(); }
   std::uint64_t misses() const { return misses_.load(); }
 
+  /// Cap the estimated resident bytes of completed entries; 0 (the
+  /// default) means unbounded.  May evict immediately if already over.
+  void set_byte_budget(std::size_t budget);
+  std::size_t byte_budget() const { return budget_.load(); }
+  /// Estimated bytes held by completed entries still in the map.
+  std::size_t bytes() const { return bytes_.load(); }
+  std::uint64_t evictions() const { return evictions_.load(); }
+
+  /// The footprint estimate eviction accounts with: translated events plus
+  /// the compiled SoA arrays (the two allocations that dominate an entry).
+  static std::size_t footprint_bytes(const TranslatedTrace& tt);
+
  private:
   struct Entry;
   struct Shard {
@@ -101,10 +122,17 @@ class TranslateCache {
   Shard& shard_for(const TranslateKey& key);
   const Shard& shard_for(const TranslateKey& key) const;
   std::shared_ptr<Entry> entry_for(const TranslateKey& key);
+  void touch(Entry& e) const;
+  void account_insert(Entry& e, const TranslatedTrace& tt);
+  void evict_to_budget();
 
   std::array<Shard, kShards> shards_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  mutable std::atomic<std::uint64_t> tick_{0};  ///< LRU clock
+  std::atomic<std::size_t> budget_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<std::uint64_t> evictions_{0};
 };
 
 /// One grid cell: extrapolate to `n_threads` processors under `params`.

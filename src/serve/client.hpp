@@ -1,0 +1,85 @@
+// xp::serve client — sync and pipelined (async-batch) access to the
+// what-if daemon.
+//
+// The synchronous calls (load_trace, open_bench, query, query_batch,
+// stats, …) each write one request and block for its reply.  The
+// async-batch pair submit_batch()/wait_batch() PIPELINES: submit writes
+// the request and returns a ticket immediately, so a caller can put many
+// batches on the wire before collecting any results — the server overlaps
+// their execution, and replies are matched back by request id in whatever
+// order the tickets are waited on.
+//
+// A Client owns one connection and is NOT thread-safe; open one client
+// per thread (connections are cheap, and the server shares its caches
+// across all of them).  Server-reported failures throw ServeError; socket
+// failures throw util::Error.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "trace/trace.hpp"
+
+namespace xp::serve {
+
+/// The server answered with an error status.
+class ServeError : public util::Error {
+ public:
+  using Error::Error;
+};
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  /// Loopback TCP connect.
+  static Client connect_tcp(int port);
+  ~Client();
+
+  Client(Client&& o) noexcept;
+  Client& operator=(Client&& o) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Ticket for a pipelined request, redeemable once with wait_batch().
+  using Ticket = std::uint64_t;
+
+  // Sessions ------------------------------------------------------------
+  std::uint64_t load_trace(const trace::Trace& measured);
+  /// Upload pre-serialized XPTB bytes (e.g. straight from a .xptb file).
+  std::uint64_t load_trace_bytes(const std::string& xptb_bytes);
+  std::uint64_t open_bench(const std::string& name);
+  void close_session(std::uint64_t session);
+
+  // Queries -------------------------------------------------------------
+  QueryResult query(std::uint64_t session, const Query& q);
+  std::vector<QueryResult> query_batch(std::uint64_t session,
+                                       const std::vector<Query>& queries);
+  /// Pipelined: write the batch and return without reading.
+  Ticket submit_batch(std::uint64_t session, const std::vector<Query>& queries);
+  /// Collect a pipelined batch's results (in query order).
+  std::vector<QueryResult> wait_batch(Ticket t);
+
+  // Admin ---------------------------------------------------------------
+  ServerStats stats();
+  /// Ask the daemon to drain and exit.
+  void shutdown_server();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  Ticket send_request(MsgType type, std::string_view body);
+  /// Reply BODY for ticket `id`, status checked (error status throws).
+  std::string wait_ok(Ticket id);
+  Frame read_frame_for(Ticket id);
+  void send_all(std::string_view bytes);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 1;
+  std::string rbuf_;
+  std::map<std::uint64_t, Frame> stashed_;  ///< replies read out of turn
+};
+
+}  // namespace xp::serve

@@ -1,0 +1,114 @@
+// xp::serve socket front-end — the long-lived what-if daemon.
+//
+// One poll(2) loop owns all I/O: the Unix-domain and/or TCP listeners, a
+// self-pipe, and every client connection.  Connections are non-blocking;
+// the loop accumulates bytes, extracts complete frames, and hands each
+// request to the Service.  Query batches fan out over the service's
+// thread pool; the finishing worker pushes the serialized reply onto a
+// completion queue and wakes the loop through the self-pipe, so the loop
+// itself never blocks on prediction work.
+//
+// Pipelining: a client may write any number of requests before reading.
+// Requests complete out of order internally, but each connection's replies
+// are written in REQUEST ORDER through a per-connection slot queue (a
+// reply waits until every earlier slot has flushed).  A connection stops
+// being polled for reads while it has kMaxPipelined unanswered requests —
+// backpressure instead of unbounded buffering.
+//
+// Shutdown: stop() is async-signal-safe (atomic flag + self-pipe write),
+// so stop_on_signals() can route SIGINT/SIGTERM straight to it.  The loop
+// then closes the listeners, drains in-flight requests and write buffers
+// (bounded by a grace period), closes connections, and run() returns.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace xp::serve {
+
+struct ServerOptions {
+  /// Unix-domain listener path; empty = no unix listener.  The path is
+  /// unlinked on bind and again on shutdown.
+  std::string unix_path;
+  /// TCP listener (loopback only): -1 = disabled, 0 = ephemeral port
+  /// (read the chosen port back with tcp_port()).
+  int tcp_port = -1;
+  int backlog = 64;
+  /// In-flight request cap per connection before reads pause.
+  int max_pipelined = 256;
+  /// Seconds run() keeps draining open connections after stop().
+  double grace_seconds = 5.0;
+  ServiceOptions service;
+};
+
+class Server {
+ public:
+  /// Binds all configured listeners (throws util::Error on failure).
+  explicit Server(ServerOptions opt);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serve until stop(); drains gracefully before returning.
+  void run();
+  /// run() on a background thread (join() or the destructor reaps it).
+  void start();
+  void join();
+  /// Request shutdown.  Async-signal-safe: one atomic store and one
+  /// write(2) on the self-pipe.
+  void stop();
+  /// Route SIGINT/SIGTERM to s.stop().  One server per process.
+  static void stop_on_signals(Server& s);
+
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return opt_.unix_path; }
+  Service& service() { return service_; }
+
+ private:
+  struct Conn;
+  struct Done {
+    std::uint64_t conn_id;
+    std::uint64_t seq;
+    std::string frame;
+  };
+
+  void open_listeners();
+  void accept_ready(int listen_fd);
+  void read_ready(Conn& c);
+  void flush(Conn& c);
+  void close_conn(std::uint64_t id);
+  void push_completion(std::uint64_t conn_id, std::uint64_t seq,
+                       std::string frame);
+  void drain_completions();
+  bool conns_idle() const;
+
+  ServerOptions opt_;
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  int wake_r_ = -1;  ///< self-pipe read end
+  int wake_w_ = -1;  ///< self-pipe write end (stop() and completions)
+
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::vector<std::unique_ptr<Conn>> conns_;  ///< poll-thread only
+
+  std::mutex done_mu_;
+  std::vector<Done> done_;  ///< completions awaiting the poll thread
+
+  /// Declared last: destroyed first, so pool workers drain while the
+  /// completion queue and self-pipe they signal are still alive.
+  Service service_;
+};
+
+}  // namespace xp::serve

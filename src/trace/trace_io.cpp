@@ -12,6 +12,37 @@ namespace xp::trace {
 
 using util::TraceError;
 
+// --- shared input validation ---------------------------------------------
+//
+// Both readers now parse bytes the library did not necessarily write (the
+// xp::serve daemon accepts trace uploads over a socket), so every field
+// that would index out of range or corrupt downstream state is checked
+// here and rejected with TraceError instead of propagating as UB.
+namespace {
+
+// Hard ceilings on structurally unbounded counts.  Real traces sit far
+// below these; a forged header must not drive allocation or loop bounds.
+constexpr std::int32_t kMaxThreads = 1 << 20;
+constexpr std::uint32_t kMaxMetaEntries = 1 << 16;
+
+void check_event_fields(const Event& e, int n_threads) {
+  if (e.thread < 0 || e.thread >= n_threads)
+    throw TraceError("trace event thread " + std::to_string(e.thread) +
+                     " out of range for " + std::to_string(n_threads) +
+                     " threads");
+  if (e.time.is_negative())
+    throw TraceError("trace event has negative timestamp " +
+                     std::to_string(e.time.count_ns()));
+  if (e.declared_bytes < 0 || e.actual_bytes < 0)
+    throw TraceError("trace event has negative transfer size");
+  if (e.peer < -1 || e.peer >= n_threads)
+    throw TraceError("trace event peer " + std::to_string(e.peer) +
+                     " out of range for " + std::to_string(n_threads) +
+                     " threads");
+}
+
+}  // namespace
+
 // --- text format ---------------------------------------------------------
 
 void write_text(const Trace& t, std::ostream& os) {
@@ -39,7 +70,8 @@ Trace read_text(std::istream& is) {
       if (tag == "#threads") {
         int n = 0;
         ls >> n;
-        if (!ls || n <= 0) throw TraceError("bad #threads line: " + line);
+        if (!ls || n <= 0 || n > kMaxThreads)
+          throw TraceError("bad #threads line: " + line);
         t.set_n_threads(n);
       } else if (tag == "#meta") {
         std::string k;
@@ -60,6 +92,8 @@ Trace read_text(std::istream& is) {
     ls >> tag >> time_ns >> thread >> kind_s >> barrier_id >> peer >> object >>
         decl >> act;
     if (!ls || tag != "E") throw TraceError("bad event line: " + line);
+    if (t.n_threads() <= 0)
+      throw TraceError("event line before #threads directive: " + line);
     Event e;
     e.time = Time::ns(time_ns);
     e.thread = thread;
@@ -70,6 +104,7 @@ Trace read_text(std::istream& is) {
     e.object = object;
     e.declared_bytes = decl;
     e.actual_bytes = act;
+    check_event_fields(e, t.n_threads());
     t.append(e);
   }
   if (t.n_threads() <= 0) throw TraceError("trace missing #threads directive");
@@ -152,14 +187,21 @@ Trace read_binary(std::istream& is) {
     throw TraceError("unsupported binary trace version " + std::to_string(ver));
   Trace t;
   const std::int32_t n_threads = get<std::int32_t>(is);
-  if (n_threads <= 0) throw TraceError("binary trace: bad thread count");
+  if (n_threads <= 0 || n_threads > kMaxThreads)
+    throw TraceError("binary trace: bad thread count");
   t.set_n_threads(n_threads);
   const std::uint32_t n_meta = get<std::uint32_t>(is);
+  if (n_meta > kMaxMetaEntries)
+    throw TraceError("binary trace: implausible metadata count");
   for (std::uint32_t i = 0; i < n_meta; ++i) {
     std::string k = get_string(is);
     std::string v = get_string(is);
     t.set_meta(k, v);
   }
+  // The event count is taken from the header but never pre-reserved: a
+  // forged count cannot allocate ahead of the bytes actually present, and
+  // a stream that runs short throws "truncated" from get<>() instead of
+  // looping on garbage.
   const std::uint64_t n_events = get<std::uint64_t>(is);
   for (std::uint64_t i = 0; i < n_events; ++i) {
     Event e;
@@ -174,8 +216,11 @@ Trace read_binary(std::istream& is) {
     e.object = get<std::int64_t>(is);
     e.declared_bytes = get<std::int32_t>(is);
     e.actual_bytes = get<std::int32_t>(is);
+    check_event_fields(e, n_threads);
     t.append(e);
   }
+  if (is.peek() != std::istream::traits_type::eof())
+    throw TraceError("binary trace: trailing bytes after declared events");
   return t;
 }
 

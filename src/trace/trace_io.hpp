@@ -8,7 +8,11 @@
 //            dumping structs, so it is independent of padding/ABI.
 //
 // Readers validate headers and field ranges and throw util::TraceError on
-// malformed input.
+// malformed input.  They are hardened for untrusted bytes (the xp::serve
+// daemon parses uploaded traces): thread/peer indices are range-checked,
+// counts are capped before they can drive allocation, negative times and
+// transfer sizes are rejected, truncation throws instead of looping, and
+// read_binary() consumes the whole stream (trailing bytes are an error).
 #pragma once
 
 #include <iosfwd>

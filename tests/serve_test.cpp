@@ -1,0 +1,412 @@
+// xp::serve coverage: the wire protocol, the socket-free Service core, and
+// a real Server + Client conversation over a Unix socket.
+//
+// The load-bearing contract is the last test block: a prediction served
+// through the daemon — encode, socket, batch fan-out over the pool, reply
+// in request order, decode — must be BITWISE identical to running
+// core::Extrapolator in-process on the same golden trace and parameters.
+// The simulator's integer-nanosecond virtual clock makes that a strict
+// equality, not a tolerance check.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/extrapolator.hpp"
+#include "model/params_io.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "trace/trace_io.hpp"
+
+namespace xp::serve {
+namespace {
+
+trace::Trace load_golden() {
+  std::ifstream in(XP_GOLDEN_DIR "/grid_n4.xpt");
+  return trace::read_text(in);
+}
+
+std::string unique_socket(const std::string& tag) {
+  return ::testing::TempDir() + "serve_" + tag + "_" +
+         std::to_string(getpid()) + ".sock";
+}
+
+Query distributed_query(int n_procs, double mips = 0.0) {
+  Query q;
+  q.n_procs = n_procs;
+  q.mips_ratio = mips;
+  q.params_text = "preset = distributed";
+  return q;
+}
+
+// --- protocol --------------------------------------------------------------
+
+TEST(ServeProtocol, FrameRoundTrip) {
+  const std::string body = "hello\x00world";
+  const std::string bytes = encode_frame(MsgType::QueryBatch, true, 42, body);
+  const auto parsed = try_parse_frame(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->second, bytes.size());
+  EXPECT_EQ(parsed->first.type, MsgType::QueryBatch);
+  EXPECT_TRUE(parsed->first.is_reply);
+  EXPECT_EQ(parsed->first.request_id, 42u);
+  EXPECT_EQ(parsed->first.body, body);
+}
+
+TEST(ServeProtocol, PartialFrameIsIncomplete) {
+  const std::string bytes = encode_frame(MsgType::Stats, false, 7, "x");
+  for (std::size_t n = 0; n < bytes.size(); ++n)
+    EXPECT_FALSE(try_parse_frame(bytes.substr(0, n)).has_value())
+        << "prefix of " << n << " bytes parsed as a frame";
+}
+
+TEST(ServeProtocol, MalformedFramesThrow) {
+  // Forged length below the type+id header.
+  EXPECT_THROW(try_parse_frame(std::string("\x01\x00\x00\x00zzzzzzzzzzzz", 16)),
+               ProtocolError);
+  // Forged length above the 64 MiB cap.
+  EXPECT_THROW(try_parse_frame(std::string("\xff\xff\xff\xffzzzzzzzzzzzz", 16)),
+               ProtocolError);
+  // Unknown message type.
+  std::string bad = encode_frame(MsgType::LoadTrace, false, 1, "");
+  bad[4] = 0x33;
+  EXPECT_THROW(try_parse_frame(bad), ProtocolError);
+}
+
+TEST(ServeProtocol, QueryAndResultRoundTrip) {
+  Query q = distributed_query(8, 2.5);
+  WireWriter w;
+  encode_query(w, q);
+  {
+    WireReader r(w.data());
+    EXPECT_EQ(decode_query(r), q);
+    EXPECT_NO_THROW(r.expect_end());
+  }
+
+  QueryResult res;
+  res.ok = true;
+  res.predicted_ns = 123456789;
+  res.ideal_ns = 1;
+  res.measured_ns = -7;  // field transport is value-faithful, sign included
+  res.messages = 42;
+  res.bytes = 4096;
+  res.compute_ns = 99;
+  res.comm_wait_ns = 3;
+  res.barrier_wait_ns = 2;
+  WireWriter w2;
+  encode_query_result(w2, res);
+  {
+    WireReader r(w2.data());
+    EXPECT_EQ(decode_query_result(r), res);
+  }
+
+  QueryResult err;
+  err.error = "boom";
+  WireWriter w3;
+  encode_query_result(w3, err);
+  {
+    WireReader r(w3.data());
+    EXPECT_EQ(decode_query_result(r), err);
+  }
+}
+
+TEST(ServeProtocol, TruncatedBodyThrows) {
+  Query q = distributed_query(4);
+  WireWriter w;
+  encode_query(w, q);
+  const std::string bytes(w.data());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    WireReader r(std::string_view(bytes).substr(0, n));
+    EXPECT_THROW(
+        {
+          Query out = decode_query(r);
+          r.expect_end();
+          (void)out;
+        },
+        ProtocolError);
+  }
+}
+
+// --- service (socket-free) -------------------------------------------------
+
+TEST(ServeService, TraceSessionAnswersQueries) {
+  Service svc;
+  const auto session = svc.open_trace_session(load_golden());
+  const QueryResult r = svc.run_query(session, distributed_query(4));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.predicted_ns, 0);
+  EXPECT_GE(r.predicted_ns, r.ideal_ns);
+}
+
+TEST(ServeService, UnknownSessionAndBadQueriesReportErrors) {
+  Service svc;
+  EXPECT_FALSE(svc.run_query(999, distributed_query(4)).ok);
+
+  const auto session = svc.open_trace_session(load_golden());
+  // The golden trace is a 4-thread measurement; 8 procs cannot be served.
+  const QueryResult wrong_n = svc.run_query(session, distributed_query(8));
+  EXPECT_FALSE(wrong_n.ok);
+  EXPECT_NE(wrong_n.error.find("4-thread"), std::string::npos);
+
+  Query bad_params = distributed_query(4);
+  bad_params.params_text = "preset = no_such_preset";
+  EXPECT_FALSE(svc.run_query(session, bad_params).ok);
+
+  svc.close_session(session);
+  EXPECT_FALSE(svc.run_query(session, distributed_query(4)).ok);
+}
+
+TEST(ServeService, UnknownBenchFailsAtOpen) {
+  Service svc;
+  EXPECT_THROW(svc.open_bench_session("no_such_program"), std::exception);
+}
+
+TEST(ServeService, BatchedQueriesAreDeterministicAndInOrder) {
+  Service svc;
+  const auto session = svc.open_trace_session(load_golden());
+
+  // One batch through the full protocol path (pool fan-out, reply
+  // serialized by batch index), twice — bitwise-identical replies.
+  WireWriter w;
+  w.u64(session);
+  w.u32(4);
+  for (double mips : {1.0, 2.0, 4.0, 8.0})
+    encode_query(w, distributed_query(4, mips));
+  const std::string req =
+      encode_frame(MsgType::QueryBatch, false, 5, w.data());
+
+  const std::string reply1 = svc.handle(req.substr(4));
+  const std::string reply2 = svc.handle(req.substr(4));
+  EXPECT_EQ(reply1, reply2) << "served batch is not reproducible";
+
+  const auto parsed = try_parse_frame(reply1);
+  ASSERT_TRUE(parsed.has_value());
+  WireReader r(parsed->first.body);
+  ASSERT_EQ(r.u8(), 0) << "batch reply carries an error status";
+  ASSERT_EQ(r.u32(), 4u);
+  std::vector<QueryResult> results;
+  for (int i = 0; i < 4; ++i) results.push_back(decode_query_result(r));
+  r.expect_end();
+  // Results are in query order: the ratio scales compute time linearly
+  // (a ratio of 2 means the target retires instructions at half the host
+  // rate), so the batch indices must come back sorted by ratio.
+  for (const auto& res : results) ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(results[1].compute_ns, 2 * results[0].compute_ns);
+  EXPECT_EQ(results[2].compute_ns, 2 * results[1].compute_ns);
+  EXPECT_EQ(results[3].compute_ns, 2 * results[2].compute_ns);
+
+  // Per-query failures are reported in-slot, not batch-wide.
+  WireWriter w2;
+  w2.u64(session);
+  w2.u32(2);
+  encode_query(w2, distributed_query(4));
+  encode_query(w2, distributed_query(8));  // wrong thread count
+  const std::string mixed = svc.handle(
+      encode_frame(MsgType::QueryBatch, false, 6, w2.data()).substr(4));
+  const auto parsed2 = try_parse_frame(mixed);
+  ASSERT_TRUE(parsed2.has_value());
+  WireReader r2(parsed2->first.body);
+  ASSERT_EQ(r2.u8(), 0);
+  ASSERT_EQ(r2.u32(), 2u);
+  EXPECT_TRUE(decode_query_result(r2).ok);
+  EXPECT_FALSE(decode_query_result(r2).ok);
+}
+
+TEST(ServeService, SharedSourceCachesAcrossSessions) {
+  Service svc;
+  const trace::Trace golden = load_golden();
+  const auto s1 = svc.open_trace_session(golden);
+  const auto s2 = svc.open_trace_session(golden);
+  EXPECT_NE(s1, s2);
+  ASSERT_TRUE(svc.run_query(s1, distributed_query(4)).ok);
+  ASSERT_TRUE(svc.run_query(s2, distributed_query(4)).ok);
+  const ServerStats st = svc.stats();
+  // Same fingerprint => one source, one cache entry, second query a hit.
+  EXPECT_EQ(st.cache_entries, 1u);
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_GE(st.cache_hits, 1u);
+  EXPECT_EQ(st.sessions_open, 2u);
+}
+
+// --- server + client over a unix socket ------------------------------------
+
+TEST(ServeServer, EndToEndOverUnixSocket) {
+  const std::string sock = unique_socket("e2e");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  Server server(std::move(opt));
+  server.start();
+
+  Client client = Client::connect_unix(sock);
+  const auto session = client.load_trace(load_golden());
+  const QueryResult r = client.query(session, distributed_query(4));
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.predicted_ns, 0);
+
+  // Server-side failures surface as ServeError on the sync error verb
+  // path and as in-slot errors for queries.
+  EXPECT_THROW(client.close_session(9999), ServeError);
+  EXPECT_FALSE(client.query(session, distributed_query(8)).ok);
+
+  const ServerStats st = client.stats();
+  EXPECT_EQ(st.connections_open, 1u);
+  EXPECT_GE(st.requests_total, 3u);
+
+  client.close_session(session);
+  server.stop();
+  server.join();
+}
+
+TEST(ServeServer, ConcurrentClientsShareOneCache) {
+  const std::string sock = unique_socket("conc");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  Server server(std::move(opt));
+  server.start();
+
+  const trace::Trace golden = load_golden();
+  constexpr int kClients = 4;
+  constexpr int kBatches = 8;
+  std::vector<std::vector<QueryResult>> per_client(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      Client cl = Client::connect_unix(sock);
+      const auto session = cl.load_trace(golden);
+      std::vector<Client::Ticket> tickets;
+      std::vector<Query> batch;
+      for (double mips : {1.0, 2.0, 3.0})
+        batch.push_back(distributed_query(4, mips));
+      for (int b = 0; b < kBatches; ++b)  // pipelined: write all, then read
+        tickets.push_back(cl.submit_batch(session, batch));
+      for (const auto t : tickets) {
+        const auto results = cl.wait_batch(t);
+        per_client[c].insert(per_client[c].end(), results.begin(),
+                             results.end());
+      }
+      cl.close_session(session);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_EQ(per_client[c].size(),
+              static_cast<std::size_t>(3 * kBatches));
+    for (const auto& r : per_client[c]) ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(per_client[c], per_client[0])
+        << "client " << c << " saw different predictions";
+  }
+
+  Client admin = Client::connect_unix(sock);
+  const ServerStats st = admin.stats();
+  // Every client uploaded the same bytes: one source, one translate miss.
+  EXPECT_EQ(st.cache_entries, 1u);
+  EXPECT_EQ(st.cache_misses, 1u);
+  EXPECT_EQ(st.queries_err, 0u);
+  EXPECT_EQ(st.queries_ok,
+            static_cast<std::uint64_t>(kClients * kBatches * 3));
+
+  server.stop();
+  server.join();
+}
+
+TEST(ServeServer, MalformedBytesDropTheConnectionOnly) {
+  const std::string sock = unique_socket("mal");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  Server server(std::move(opt));
+  server.start();
+
+  // A raw socket spewing garbage: the server must drop it without taking
+  // the daemon down.
+  {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string garbage(64, '\xff');  // forged length > 64 MiB cap
+    ASSERT_GT(send(fd, garbage.data(), garbage.size(), MSG_NOSIGNAL), 0);
+    char buf[16];
+    EXPECT_EQ(read(fd, buf, sizeof buf), 0) << "server kept a poisoned "
+                                               "connection open";
+    close(fd);
+  }
+
+  // A malformed PAYLOAD (valid framing) gets an error reply instead.
+  {
+    Client cl = Client::connect_unix(sock);
+    EXPECT_THROW(cl.load_trace_bytes("these are not XPTB bytes"), ServeError);
+    // ... and the connection is still usable afterwards.
+    const auto session = cl.open_bench("cyclic");
+    EXPECT_TRUE(cl.query(session, distributed_query(2)).ok);
+  }
+
+  server.stop();
+  server.join();
+}
+
+TEST(ServeServer, ShutdownVerbStopsTheServer) {
+  const std::string sock = unique_socket("shut");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  Server server(std::move(opt));
+  server.start();
+
+  Client client = Client::connect_unix(sock);
+  client.shutdown_server();  // reply arrives before the server exits
+  server.join();             // returns promptly: the verb triggered stop()
+  EXPECT_EQ(unlink(sock.c_str()), -1) << "socket file survived shutdown";
+}
+
+// --- the acceptance contract: served == in-process, bitwise ----------------
+
+TEST(ServeServer, ServedPredictionsMatchInProcessExtrapolatorBitwise) {
+  const trace::Trace golden = load_golden();
+
+  const std::string sock = unique_socket("gold");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  Server server(std::move(opt));
+  server.start();
+
+  Client client = Client::connect_unix(sock);
+  const auto session = client.load_trace(golden);
+
+  for (double mips : {0.0, 1.0, 2.0, 8.0}) {
+    const QueryResult served =
+        client.query(session, distributed_query(4, mips));
+    ASSERT_TRUE(served.ok) << served.error;
+
+    model::SimParams params = model::distributed_preset();
+    if (mips > 0) params.proc.mips_ratio = mips;
+    const core::Prediction local =
+        core::Extrapolator(params).extrapolate_trace(golden);
+
+    EXPECT_EQ(served.predicted_ns, local.predicted_time.count_ns());
+    EXPECT_EQ(served.ideal_ns, local.ideal_time.count_ns());
+    EXPECT_EQ(served.measured_ns, local.measured_time.count_ns());
+    EXPECT_EQ(served.messages, local.sim.messages);
+    EXPECT_EQ(served.bytes, local.sim.bytes);
+    EXPECT_EQ(served.compute_ns, local.sim.total_compute().count_ns());
+    EXPECT_EQ(served.comm_wait_ns, local.sim.total_comm_wait().count_ns());
+    EXPECT_EQ(served.barrier_wait_ns,
+              local.sim.total_barrier_wait().count_ns());
+  }
+
+  server.stop();
+  server.join();
+}
+
+}  // namespace
+}  // namespace xp::serve

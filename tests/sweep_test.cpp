@@ -498,6 +498,101 @@ TEST(TranslateCache, ConcurrentGetDuringPutNeverReturnsPartialEntries) {
   }
 }
 
+// --- byte-budget LRU cap (the knob the serve daemon relies on) ------------
+
+// One cache entry per thread count, measured from the shared test program.
+trace::Trace measure_n(int n) {
+  SweepProgram prog;
+  rt::MeasureOptions mo;
+  mo.n_threads = n;
+  return rt::measure(prog, mo);
+}
+
+TEST(TranslateCache, ByteBudgetEvictsLeastRecentlyUsed) {
+  TranslateCache cache;
+  std::size_t per_entry_max = 0;
+  for (int n : {2, 3, 4, 5}) {
+    const auto tt = cache.get_or_prepare(TranslateKey{n, {}},
+                                         [](int m) { return measure_n(m); });
+    per_entry_max =
+        std::max(per_entry_max, TranslateCache::footprint_bytes(*tt));
+  }
+  ASSERT_EQ(cache.size(), 4u);
+  ASSERT_GT(cache.bytes(), 0u);
+  ASSERT_EQ(cache.evictions(), 0u);
+
+  // Touch n=2 so it becomes the most recently used entry, then shrink the
+  // budget to roughly two entries' worth: the oldest untouched entries go,
+  // n=2 stays, and the accounting lands back under the budget.
+  ASSERT_NE(cache.get(TranslateKey{2, {}}), nullptr);
+  const std::size_t budget = 2 * per_entry_max;
+  cache.set_byte_budget(budget);
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_LE(cache.bytes(), budget);
+  EXPECT_LT(cache.size(), 4u);
+  EXPECT_NE(cache.get(TranslateKey{2, {}}), nullptr)
+      << "the most recently used entry was evicted";
+  EXPECT_EQ(cache.get(TranslateKey{3, {}}), nullptr)
+      << "the least recently used entry survived";
+}
+
+TEST(TranslateCache, BudgetNeverEvictsTheOnlyOrNewestEntry) {
+  TranslateCache cache;
+  cache.set_byte_budget(1);  // absurdly small: nothing fits
+  (void)cache.get_or_prepare(TranslateKey{2, {}},
+                             [](int m) { return measure_n(m); });
+  // A single resident entry is always retained, even over budget — evicting
+  // it would turn the cache into a measure-every-time regression.
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  // A second insert makes the first evictable; the newest must survive.
+  (void)cache.get_or_prepare(TranslateKey{3, {}},
+                             [](int m) { return measure_n(m); });
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.get(TranslateKey{2, {}}), nullptr);
+  EXPECT_NE(cache.get(TranslateKey{3, {}}), nullptr);
+}
+
+TEST(TranslateCache, EvictedKeysRemeasureOnNextUse) {
+  TranslateCache cache;
+  std::atomic<int> measurements{0};
+  const TranslateCache::Measure measure = [&](int m) {
+    ++measurements;
+    return measure_n(m);
+  };
+  cache.set_byte_budget(1);
+  (void)cache.get_or_prepare(TranslateKey{2, {}}, measure);
+  (void)cache.get_or_prepare(TranslateKey{3, {}}, measure);  // evicts n=2
+  EXPECT_EQ(measurements.load(), 2);
+  (void)cache.get_or_prepare(TranslateKey{2, {}}, measure);  // miss again
+  EXPECT_EQ(measurements.load(), 3);
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(TranslateCache, UnboundedByDefaultAndBudgetIsLifted) {
+  TranslateCache cache;
+  EXPECT_EQ(cache.byte_budget(), 0u);
+  for (int n : {2, 3, 4, 5})
+    (void)cache.get_or_prepare(TranslateKey{n, {}},
+                               [](int m) { return measure_n(m); });
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  cache.set_byte_budget(1);
+  EXPECT_LT(cache.size(), 4u);
+  const auto evicted = cache.evictions();
+  EXPECT_GT(evicted, 0u);
+
+  // Lifting the budget stops eviction; new entries accumulate again.
+  cache.set_byte_budget(0);
+  (void)cache.get_or_prepare(TranslateKey{6, {}},
+                             [](int m) { return measure_n(m); });
+  EXPECT_EQ(cache.evictions(), evicted);
+}
+
 TEST(ThreadPool, DrainsAllTasksAndIsReusable) {
   util::ThreadPool pool(4);
   std::atomic<int> count{0};

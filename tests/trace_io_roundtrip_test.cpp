@@ -25,6 +25,7 @@
 #include "rt/runtime.hpp"
 #include "suite/suite.hpp"
 #include "trace/trace_io.hpp"
+#include "util/error.hpp"
 
 namespace xp::trace {
 namespace {
@@ -103,6 +104,140 @@ TEST(TraceIoRoundTrip, MeasurementReproducesGoldenBytes) {
       << "re-measuring the pinned Grid config no longer matches the golden "
          "trace; if the tracer or suite changed intentionally, regenerate "
          "with XP_REGEN_GOLDEN=1";
+}
+
+// --- malformed-input hardening ---------------------------------------------
+//
+// The serve daemon feeds read_binary() bytes straight off a socket, so both
+// readers must reject anything structurally invalid with TraceError — never
+// index out of range, loop on a forged count, or allocate ahead of the
+// bytes actually present.
+
+Trace tiny_trace() {
+  Trace t;
+  t.set_n_threads(2);
+  Event e;
+  e.kind = EventKind::ThreadBegin;
+  e.time = util::Time::ns(10);
+  e.thread = 0;
+  e.peer = -1;
+  t.append(e);
+  e.thread = 1;
+  e.time = util::Time::ns(20);
+  t.append(e);
+  return t;
+}
+
+Trace read_text_str(const std::string& s) {
+  std::istringstream in(s);
+  return read_text(in);
+}
+
+Trace read_binary_str(const std::string& s) {
+  std::istringstream in(s);
+  return read_binary(in);
+}
+
+TEST(TraceIoMalformed, TextRejectsStructurallyInvalidInput) {
+  using util::TraceError;
+  const std::string hdr = "#XPTRACE v1\n#threads 2\n";
+  // Not a trace at all.
+  EXPECT_THROW(read_text_str(""), TraceError);
+  EXPECT_THROW(read_text_str("#XPTRACE v2\n"), TraceError);
+  // #threads must be present, positive, and sane.
+  EXPECT_THROW(read_text_str("#XPTRACE v1\n"), TraceError);
+  EXPECT_THROW(read_text_str("#XPTRACE v1\n#threads 0\n"), TraceError);
+  EXPECT_THROW(read_text_str("#XPTRACE v1\n#threads -3\n"), TraceError);
+  EXPECT_THROW(read_text_str("#XPTRACE v1\n#threads 9999999999\n"),
+               TraceError);
+  // Events may not precede the #threads directive (their thread field
+  // would be unvalidatable).
+  EXPECT_THROW(
+      read_text_str("#XPTRACE v1\nE 0 0 BEGIN 0 -1 0 0 0\n#threads 2\n"),
+      TraceError);
+  EXPECT_THROW(read_text_str(hdr + "#bogus directive\n"), TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E 0 0 NOT_A_KIND 0 -1 0 0 0\n"),
+               TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E 0 0\n"), TraceError);
+  // Field-range checks: thread, peer, timestamp, transfer sizes.
+  EXPECT_THROW(read_text_str(hdr + "E 0 2 BEGIN 0 -1 0 0 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E 0 -1 BEGIN 0 -1 0 0 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E 0 0 BEGIN 0 2 0 0 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E 0 0 BEGIN 0 -2 0 0 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E -5 0 BEGIN 0 -1 0 0 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E 0 0 BEGIN 0 -1 0 -4 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(hdr + "E 0 0 BEGIN 0 -1 0 0 -4\n"), TraceError);
+  // The well-formed version of the same trace parses.
+  EXPECT_NO_THROW(read_text_str(hdr + "E 0 0 BEGIN 0 -1 0 0 0\n"));
+}
+
+TEST(TraceIoMalformed, BinaryRejectsStructurallyInvalidInput) {
+  using util::TraceError;
+  std::ostringstream os;
+  write_binary(tiny_trace(), os);
+  const std::string good = os.str();
+  ASSERT_NO_THROW(read_binary_str(good));
+  // Layout: magic[4] | version u32 | n_threads i32 | n_meta u32 |
+  //         n_events u64 | events (37 bytes each).
+  constexpr std::size_t kVersionOff = 4;
+  constexpr std::size_t kThreadsOff = 8;
+  constexpr std::size_t kMetaCountOff = 12;
+  constexpr std::size_t kEventCountOff = 16;
+  constexpr std::size_t kFirstEventOff = 24;
+  const auto with = [&](std::size_t off, std::initializer_list<int> bytes) {
+    std::string s = good;
+    std::size_t i = off;
+    for (const int b : bytes) s[i++] = static_cast<char>(b);
+    return s;
+  };
+
+  EXPECT_THROW(read_binary_str(""), TraceError);
+  EXPECT_THROW(read_binary_str("XPTA"), TraceError);  // bad magic
+  EXPECT_THROW(read_binary_str(with(0, {'Y'})), TraceError);
+  EXPECT_THROW(read_binary_str(with(kVersionOff, {9})), TraceError);
+  // Thread count: zero, negative, over the cap.
+  EXPECT_THROW(read_binary_str(with(kThreadsOff, {0, 0, 0, 0})), TraceError);
+  EXPECT_THROW(
+      read_binary_str(with(kThreadsOff, {0xff, 0xff, 0xff, 0xff})),
+      TraceError);
+  EXPECT_THROW(
+      read_binary_str(with(kThreadsOff, {0, 0, 0, 0x7f})), TraceError);
+  // Forged meta count cannot drive the meta loop.
+  EXPECT_THROW(
+      read_binary_str(with(kMetaCountOff, {0xff, 0xff, 0xff, 0x0f})),
+      TraceError);
+  // Forged event count runs out of bytes -> "truncated", not a hang/alloc.
+  EXPECT_THROW(
+      read_binary_str(with(kEventCountOff, {0xff, 0xff, 0xff, 0xff})),
+      TraceError);
+  // Truncation at every byte boundary is detected.
+  for (const std::size_t cut : {3u, 7u, 11u, 15u, 23u, 30u}) {
+    EXPECT_THROW(read_binary_str(good.substr(0, cut)), TraceError)
+        << "cut at byte " << cut;
+  }
+  // Event field validation: kind, thread, peer live at fixed offsets in
+  // the first event record (time i64 | thread i32 | kind u8 | barrier i32 |
+  // peer i32 | object i64 | declared i32 | actual i32).
+  EXPECT_THROW(
+      read_binary_str(with(kFirstEventOff + 12, {0x7f})), TraceError);
+  EXPECT_THROW(
+      read_binary_str(with(kFirstEventOff + 8, {9, 0, 0, 0})), TraceError);
+  EXPECT_THROW(
+      read_binary_str(with(kFirstEventOff + 17, {0xfe, 0xff, 0xff, 0xff})),
+      TraceError);
+  // Trailing bytes after the declared events poison the stream.
+  EXPECT_THROW(read_binary_str(good + "x"), TraceError);
+}
+
+TEST(TraceIoMalformed, GoldenUploadSurvivesRoundTripUnderChecks) {
+  // The hardening must not reject real traces: the golden file and its
+  // binary rendition still parse with every check in place.
+  std::istringstream in(slurp(kGoldenPath));
+  const Trace t = read_text(in);
+  std::ostringstream os;
+  write_binary(t, os);
+  std::istringstream bin(os.str());
+  EXPECT_NO_THROW(read_binary(bin));
 }
 
 TEST(TraceIoRoundTrip, FileExtensionDispatch) {
