@@ -164,6 +164,19 @@ int main() {
         workers, best, stages.measure_cpu_s, stages.translate_cpu_s,
         stages.simulate_cpu_s, stages.prewarm_wall_s, stages.simulate_wall_s,
         e2e_seq_best / best, fp == e2e_seq_fp ? "" : "   !! PREDICTIONS DIFFER");
+    // Per-mode attribution of the grid's simulation work, so the JSON
+    // report can tell how much of an e2e win came from analytic collapse
+    // vs the event engine (scripts/bench_json.sh, schema xp-bench-sim/4).
+    std::printf(
+        "e2e_modes workers=%d cells_event=%lld cells_hybrid=%lld"
+        " events_fired=%lld segments_collapsed=%lld segments_total=%lld"
+        " ops_collapsed=%lld\n",
+        workers, static_cast<long long>(stages.cells_event),
+        static_cast<long long>(stages.cells_hybrid),
+        static_cast<long long>(stages.sim_events_fired),
+        static_cast<long long>(stages.sim_segments_collapsed),
+        static_cast<long long>(stages.sim_segments_total),
+        static_cast<long long>(stages.sim_ops_collapsed));
   }
 
   std::cout << '\n';

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Perf-regression harness: run the engine micro-benchmarks (short
-# iterations) plus the sweep-scaling and serve-QPS harnesses and distill
-# them into BENCH_sim.json at the repository root — one items/sec (or
+# iterations) plus the sweep-scaling, serve-QPS and hybrid-simulation
+# harnesses and distill them into BENCH_sim.json at the repository root — one items/sec (or
 # seconds) entry per benchmark, stable keys, so two checkouts can be
 # diffed with `jq` or eyeballed in a PR.
 #
@@ -20,7 +20,7 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-for bin in micro_engine abl_sweep_scaling abl_serve_qps; do
+for bin in micro_engine abl_sweep_scaling abl_serve_qps abl_hybrid_scaling; do
   [ -x "$BUILD/bench/$bin" ] || {
     echo "error: $BUILD/bench/$bin not built" >&2
     exit 1
@@ -30,7 +30,8 @@ done
 raw_json=$(mktemp)
 sweep_log=$(mktemp)
 serve_log=$(mktemp)
-trap 'rm -f "$raw_json" "$sweep_log" "$serve_log"' EXIT
+hybrid_log=$(mktemp)
+trap 'rm -f "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log"' EXIT
 
 "$BUILD/bench/micro_engine" \
   --benchmark_min_time=0.2 \
@@ -44,12 +45,18 @@ trap 'rm -f "$raw_json" "$sweep_log" "$serve_log"' EXIT
 # is bitwise-reproducible; missing rows fail the serve gate below.
 "$BUILD/bench/abl_serve_qps" | tee "$serve_log" >&2
 
-python3 - "$raw_json" "$sweep_log" "$serve_log" <<'PY'
+# Hybrid vs event-driven simulation scaling; also shape-checks bitwise
+# equality of the two modes and engine-free collapse on the single-cluster
+# target (bench/abl_hybrid_scaling).
+"$BUILD/bench/abl_hybrid_scaling" | tee "$hybrid_log" >&2
+
+python3 - "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" <<'PY'
 import json
 import re
 import sys
 
-raw, sweep_log, serve_log = sys.argv[1], sys.argv[2], sys.argv[3]
+raw, sweep_log, serve_log, hybrid_log = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
 with open(raw) as f:
     data = json.load(f)
 
@@ -101,6 +108,47 @@ with open(sweep_log) as f:
                 "simulate_wall_seconds": float(m.group(7)),
                 "speedup_vs_sequential": float(m.group(8)),
             }
+            continue
+        # Per-mode attribution of the grid's simulation work (which cells
+        # collapsed analytically vs ran the event engine).
+        m = re.match(
+            r"e2e_modes workers=(\d+) cells_event=(\d+) cells_hybrid=(\d+)"
+            r" events_fired=(\d+) segments_collapsed=(\d+)"
+            r" segments_total=(\d+) ops_collapsed=(\d+)", line)
+        if m:
+            sweep.setdefault(f"sweep_e2e_workers_{m.group(1)}", {}).update({
+                "cells_event": int(m.group(2)),
+                "cells_hybrid": int(m.group(3)),
+                "sim_events_fired": int(m.group(4)),
+                "sim_segments_collapsed": int(m.group(5)),
+                "sim_segments_total": int(m.group(6)),
+                "sim_ops_collapsed": int(m.group(7)),
+            })
+
+# Hybrid-simulation harness: per-cell "hybrid_sim ..." rows and the
+# within-run "hybrid_speedup bench=... n=... speedup=...x" ratios
+# (bench/abl_hybrid_scaling).
+hybrid = {}
+hybrid_speedups = {}
+with open(hybrid_log) as f:
+    for line in f:
+        m = re.match(
+            r"hybrid_sim bench=(\w+) n=(\d+) mode=(\w+) sim_s=([0-9.]+)"
+            r" engine_events=(\d+) segments_collapsed=(\d+)"
+            r" segments_total=(\d+) path=(\w+)", line)
+        if m:
+            hybrid[f"hybrid_{m.group(1)}_n{m.group(2)}_{m.group(3)}"] = {
+                "seconds": float(m.group(4)),
+                "engine_events": int(m.group(5)),
+                "segments_collapsed": int(m.group(6)),
+                "segments_total": int(m.group(7)),
+                "path": m.group(8),
+            }
+            continue
+        m = re.match(
+            r"hybrid_speedup bench=(\w+) n=(\d+) speedup=([0-9.]+)x", line)
+        if m:
+            hybrid_speedups[f"{m.group(1)}_n{m.group(2)}"] = float(m.group(3))
 
 # Serve harness: "serve_qps clients=N batch=B qps=... p50_us=... p99_us=..."
 # rows from the warm-cache daemon load generator (bench/abl_serve_qps).
@@ -119,15 +167,17 @@ with open(serve_log) as f:
             }
 
 out = {
-    "schema": "xp-bench-sim/3",
+    "schema": "xp-bench-sim/4",
     "hw_concurrency": hw,
     "source": ["bench/micro_engine", "bench/abl_sweep_scaling",
-               "bench/abl_serve_qps"],
+               "bench/abl_serve_qps", "bench/abl_hybrid_scaling"],
     "note": "items_per_second is best-of-5 repetitions; "
             "see scripts/bench_json.sh for methodology",
     "benchmarks": dict(sorted(best.items())),
     "sweep": sweep,
     "serve": serve,
+    "hybrid": hybrid,
+    "hybrid_speedup_vs_event": hybrid_speedups,
 }
 
 # Embed the committed pre-overhaul numbers (measured with the identical
@@ -156,7 +206,7 @@ with open("BENCH_sim.json", "w") as f:
     f.write("\n")
 print("wrote BENCH_sim.json "
       f"({len(best)} micro benchmarks, {len(sweep)} sweep rows, "
-      f"{len(serve)} serve rows)")
+      f"{len(serve)} serve rows, {len(hybrid)} hybrid rows)")
 
 # --- Regression gates -------------------------------------------------
 # Both gates always run (a fiber pass must not short-circuit the sweep
@@ -270,6 +320,31 @@ else:
         worst_p99 = max(row["p99_us"] for row in serve.values())
         print(f"serve gate: OK (peak {peak:.0f} QPS, worst p99 "
               f"{worst_p99:.0f} us)")
+
+# Gate 4: hybrid analytic collapse.  On the single-cluster shared-memory
+# target the hybrid simulator must beat event-driven replay by >= 10x at
+# n=1024 on both Grid and Cyclic — a within-run ratio from one binary, so
+# host-speed drift cannot mask a regression.  (The same harness also holds
+# the two modes bitwise-equal; a mismatch fails its shape checks.)
+missing = [k for k in ("grid_n1024", "cyclic_n1024")
+           if k not in hybrid_speedups]
+if missing:
+    print("hybrid gate: FAIL — speedup rows missing from "
+          f"abl_hybrid_scaling output: {missing} (format drift?)",
+          file=sys.stderr)
+    failed = True
+else:
+    bad = {k: v for k, v in hybrid_speedups.items()
+           if k.endswith("_n1024") and v < 10.0}
+    if bad:
+        print(f"hybrid gate: FAIL — hybrid speedup below 10x at n=1024: "
+              f"{bad} (set XP_BENCH_NO_GATE=1 to override)", file=sys.stderr)
+        failed = True
+    else:
+        g = hybrid_speedups["grid_n1024"]
+        c = hybrid_speedups["cyclic_n1024"]
+        print(f"hybrid gate: OK (grid {g:.1f}x, cyclic {c:.1f}x "
+              "event-driven at n=1024)")
 
 sys.exit(1 if failed else 0)
 PY

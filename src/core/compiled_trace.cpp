@@ -82,7 +82,45 @@ CompiledTrace CompiledTrace::compile(
       out.proto.push_back(e);
     }
     XP_CHECK(done, "replay ran past end of trace");
+
+    // Segment table: one barrier-delimited slice per Barrier op plus the
+    // final slice ending at the End op.  Built after the walk so the op
+    // array is final; remote cursors advance with the Remote ops.
+    Segment seg;
+    std::uint32_t remote_cursor = 0;
+    for (std::uint32_t i = 0; i < out.ops.size(); ++i) {
+      seg.presum += out.pre_delta[i];
+      if (out.ops[i] == OpKind::Remote) {
+        const RemoteRec& r = out.remotes[remote_cursor++];
+        if (r.peer != static_cast<std::int32_t>(t)) {
+          ++seg.nonself_remotes;
+          seg.nonself_declared_bytes += r.declared_bytes;
+          seg.nonself_actual_bytes += r.actual_bytes;
+        }
+      }
+      if (out.ops[i] == OpKind::Barrier || out.ops[i] == OpKind::End) {
+        seg.op_end = i;
+        seg.remote_end = remote_cursor;
+        out.segments.push_back(seg);
+        seg = Segment{};
+        seg.op_begin = i + 1;
+        seg.remote_begin = remote_cursor;
+      }
+    }
   }
+
+  // Hybrid preconditions: lockstep barrier epochs + per-owner histogram.
+  ct.uniform_barriers = true;
+  for (std::size_t t = 1; t < ct.threads.size(); ++t)
+    if (ct.threads[t].barrier_ids != ct.threads[0].barrier_ids) {
+      ct.uniform_barriers = false;
+      break;
+    }
+  ct.inbound_remotes.assign(translated.size(), 0);
+  for (const CompiledThread& th : ct.threads)
+    for (const RemoteRec& r : th.remotes)
+      if (r.peer >= 0 && r.peer < ct.n_threads)
+        ++ct.inbound_remotes[static_cast<std::size_t>(r.peer)];
   return ct;
 }
 

@@ -58,17 +58,59 @@ struct RemoteRec {
   bool is_write = false;
 };
 
+/// One barrier-delimited slice of a thread's op stream (a "segment" in the
+/// hybrid-simulation sense): ops[op_begin..op_end] where ops[op_end] is the
+/// terminating Barrier (or End for the final segment).  Segment e of every
+/// thread lies between global barrier e-1's release and barrier e's release,
+/// so when no cross-cluster remote access touches a thread during an epoch
+/// the whole slice has a closed-form cost and the simulator can skip the
+/// event engine for it (core/simulator.hpp, SimMode::Hybrid).  `presum` is
+/// the compile-time pre-summed record: the unscaled compute total of the
+/// slice, exact to use whole when MipsRatio == 1 and the service policy is
+/// not Poll (Time scaling is llround per interval, so a scaled sum is not a
+/// sum of scaled intervals in general).
+struct Segment {
+  std::uint32_t op_begin = 0;
+  std::uint32_t op_end = 0;      ///< index of the terminating Barrier/End op
+  std::uint32_t remote_begin = 0;
+  std::uint32_t remote_end = 0;  ///< remotes consumed inside the segment
+  Time presum;                   ///< sum of pre_delta[op_begin..op_end]
+
+  /// Pre-summed remote records over the slice's accesses whose owner is
+  /// another thread (self-accesses cost nothing).  Because Time is integer
+  /// nanoseconds, the per-access intra-cluster cost
+  /// `intra_latency + intra_byte_time * bytes` is an exact integer product,
+  /// so llround distributes over these sums and the simulator can charge a
+  /// whole slice's communication in O(1) — it falls back to the per-record
+  /// walk when the products could exceed double's 2^53 exact-integer range.
+  std::int64_t nonself_remotes = 0;
+  std::int64_t nonself_declared_bytes = 0;
+  std::int64_t nonself_actual_bytes = 0;
+};
+
 struct CompiledThread {
   std::vector<OpKind> ops;
   std::vector<Time> pre_delta;
   std::vector<RemoteRec> remotes;
   std::vector<std::int32_t> barrier_ids;
   std::vector<trace::Event> proto;  ///< emit templates, aligned with ops
+  std::vector<Segment> segments;    ///< barrier_ids.size() + 1 entries
 };
 
 struct CompiledTrace {
   int n_threads = 0;
   std::vector<CompiledThread> threads;
+
+  /// True iff every thread passes the identical barrier-id sequence — the
+  /// lockstep-epoch precondition of the hybrid fast path.  translate()
+  /// output always satisfies this (trace validation enforces it); hand-built
+  /// trace sets may not.
+  bool uniform_barriers = false;
+
+  /// inbound_remotes[t]: remote accesses (across all threads) whose owner is
+  /// thread t — the per-owner access histogram of the contention pre-pass.
+  /// A thread that is never an owner is trivially uncontended.
+  std::vector<std::int64_t> inbound_remotes;
 
   /// Lower a translated trace set (one trace per thread, as produced by
   /// core::translate) into compiled form.  Throws util::Error on the same

@@ -15,14 +15,16 @@ TranslatedTrace prepare_trace(const trace::Trace& measured,
   return tt;
 }
 
-Prediction predict(const TranslatedTrace& prepared, const SimParams& params) {
+Prediction predict(const TranslatedTrace& prepared, const SimParams& params,
+                   const SimOptions& opts) {
   Prediction p;
   p.n_threads = prepared.n_threads;
   p.measured_time = prepared.measured_time;
   p.measured_summary = prepared.measured_summary;
   p.ideal_time = prepared.ideal_time;
-  p.sim = prepared.compiled ? simulate_compiled(*prepared.compiled, params)
-                            : simulate(prepared.translated, params);
+  p.sim = prepared.compiled
+              ? simulate_compiled(*prepared.compiled, params, opts)
+              : simulate(prepared.translated, params, opts);
   p.predicted_time = p.sim.makespan;
   return p;
 }

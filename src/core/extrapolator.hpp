@@ -51,7 +51,10 @@ TranslatedTrace prepare_trace(const trace::Trace& measured,
 /// Run the simulation-side half: replay a prepared trace against one
 /// parameter set.  Pure — identical inputs give bitwise-identical
 /// Predictions, the property the sweep differential tests pin down.
-Prediction predict(const TranslatedTrace& prepared, const SimParams& params);
+/// `opts` selects the simulation mode (core/simulator.hpp); Hybrid/Auto
+/// are conservative-exact, so every mode yields the same numbers.
+Prediction predict(const TranslatedTrace& prepared, const SimParams& params,
+                   const SimOptions& opts = {});
 
 class Extrapolator {
  public:

@@ -121,6 +121,12 @@ struct ThreadCtx {
 
   TState state = TState::Start;
 
+  // True while the hybrid fast path is replaying one of this thread's
+  // collapsed segments analytically (core/simulator.hpp, SimMode::Hybrid).
+  // The classifier guarantees no message can target such a thread; a
+  // delivery anyway means a misclassification and trips a loud check.
+  bool fastforwarding = false;
+
   // Current barrier bookkeeping (message protocol).
   std::int32_t cur_barrier = -1;
   bool self_arrived = false;
@@ -147,8 +153,10 @@ struct AnalyticBarrier {
 
 class Simulator {
  public:
-  Simulator(const CompiledTrace& compiled, const SimParams& params)
+  Simulator(const CompiledTrace& compiled, const SimParams& params,
+            const SimOptions& opts)
       : params_(params),
+        opts_(opts),
         n_(compiled.n_threads),
         n_procs_(model::effective_procs(params.proc, n_)),
         plan_(model::make_plan(params.barrier.alg, n_)),
@@ -163,11 +171,16 @@ class Simulator {
       threads_.push_back(std::move(ctx));
     }
     cpus_.resize(static_cast<std::size_t>(n_procs_));
+    classify(compiled);
   }
 
   SimResult run() {
-    for (auto& t : threads_) proceed(*t);
-    engine_.run();
+    if (hyb_.path == HybridStats::Path::PureAnalytic) {
+      run_analytic();
+    } else {
+      for (auto& t : threads_) proceed(*t);
+      engine_.run();
+    }
     for (auto& t : threads_)
       XP_CHECK(t->state == TState::Done,
                "simulation ended with thread " + std::to_string(t->id) +
@@ -188,10 +201,77 @@ class Simulator {
     r.bytes = network_.bytes_sent();
     r.avg_inflight = network_.load_samples().mean();
     r.engine_events = engine_.fired();
+    r.hybrid = hyb_;
     return r;
   }
 
  private:
+  // --- hybrid segment classifier (SimMode::Hybrid / Auto) -------------------
+  //
+  // A (epoch, thread) segment has a closed-form cost — and can skip the
+  // event engine — iff nothing can interleave with the thread's own replay
+  // during that epoch:
+  //
+  //   * every thread owns its processor (n_procs >= n_threads), so there is
+  //     no CPU sharing between threads,
+  //   * barriers resolve analytically (no barrier message traffic), with
+  //     identical barrier sequences so epochs advance in lockstep,
+  //   * the segment performs no cross-cluster remote access (it would block
+  //     on request/reply messages whose latency depends on network state),
+  //     and no other thread's same-epoch segment targets this thread as a
+  //     cross-cluster owner (servicing the request would consume this CPU
+  //     at a message-determined time — the contended-owner case of the
+  //     per-owner access histogram).
+  //
+  // Same-processor accesses are free and intra-cluster accesses cost a
+  // fixed latency + per-byte copy on the accessing CPU only, so both stay
+  // inside the closed form.  The epoch granularity is sound because every
+  // remote access issued in epoch e completes — including the owner-side
+  // service — before barrier e releases: the accessor blocks on the reply
+  // and cannot reach the barrier until it arrives.  Demotion marks BOTH
+  // endpoints of a cross-cluster access for that epoch; everything else is
+  // provably exact, which is why Hybrid is bitwise-identical to EventDriven.
+  void classify(const CompiledTrace& compiled) {
+    for (const CompiledThread& th : compiled.threads)
+      hyb_.segments_total += static_cast<std::int64_t>(th.segments.size());
+    if (opts_.mode == SimMode::EventDriven) return;
+    if (n_procs_ < n_ || !compiled.uniform_barriers || use_messages()) {
+      hyb_.segments_demoted = hyb_.segments_total;
+      return;
+    }
+    epochs_ = static_cast<std::int64_t>(compiled.threads[0].segments.size());
+    hyb_.epochs = epochs_;
+    blocked_.assign(static_cast<std::size_t>(epochs_ * n_), 0);
+    if (params_.cluster.procs_per_cluster < n_procs_) {
+      // Multiple clusters: walk each segment's remote slice and demote both
+      // endpoints of every cross-cluster access for that epoch.
+      for (int t = 0; t < n_; ++t) {
+        const CompiledThread& th = compiled.threads[static_cast<std::size_t>(t)];
+        for (std::int64_t e = 0; e < epochs_; ++e) {
+          const Segment& seg = th.segments[static_cast<std::size_t>(e)];
+          for (std::uint32_t ri = seg.remote_begin; ri < seg.remote_end; ++ri) {
+            const RemoteRec& rec = th.remotes[ri];
+            if (rec.peer == t) continue;  // same processor: free, no traffic
+            if (cluster_of(rec.peer) == cluster_of(t)) continue;
+            blocked_[static_cast<std::size_t>(e * n_ + t)] = 1;
+            blocked_[static_cast<std::size_t>(e * n_ + rec.peer)] = 1;
+          }
+        }
+      }
+    }
+    for (const char b : blocked_) hyb_.segments_demoted += b;
+    hyb_.segments_collapsed = hyb_.segments_total - hyb_.segments_demoted;
+    if (hyb_.segments_collapsed == 0) return;  // nothing to gain: pure event
+    hybrid_active_ = true;
+    hyb_.path = hyb_.segments_demoted == 0 ? HybridStats::Path::PureAnalytic
+                                           : HybridStats::Path::Mixed;
+  }
+
+  bool collapsible(const ThreadCtx& T) const {
+    return !blocked_[static_cast<std::size_t>(
+        static_cast<std::int64_t>(T.barrier) * n_ + T.id)];
+  }
+
   // --- CPU management -----------------------------------------------------
 
   Cpu& cpu(int proc) { return cpus_[static_cast<std::size_t>(proc)]; }
@@ -252,9 +332,221 @@ class Simulator {
 
   void proceed(ThreadCtx& T) {
     XP_CHECK(T.op < T.code->ops.size(), "replay ran past end of trace");
+    if (hybrid_active_ &&
+        T.op == T.code->segments[T.barrier].op_begin && collapsible(T)) {
+      fast_forward(T);
+      return;
+    }
     const Time scaled =
         model::scale_compute(params_.proc, T.code->pre_delta[T.op]);
     start_compute(T, scaled);
+  }
+
+  // --- hybrid fast path -----------------------------------------------------
+
+  /// Replay one collapsed segment analytically from `start`: advance the
+  /// replay cursors, accumulate the same per-op stats the event path would,
+  /// emit the intermediate protos at their computed times, and return the
+  /// time at which the terminating Barrier/End op executes.  T.op is left AT
+  /// the terminator; the caller handles it.  Mirrors start_compute/
+  /// run_chunk/chunk_done/exec_op/begin_remote_access exactly — per-interval
+  /// MipsRatio scaling (llround is not distributive over addition), poll
+  /// boundaries at (scaled-1)/interval, intra-cluster costs on the accessing
+  /// CPU.
+  Time walk_segment(ThreadCtx& T, const Segment& seg, Time start) {
+    const CompiledThread& code = *T.code;
+    const bool polling = params_.proc.policy == model::ServicePolicy::Poll;
+    const std::int64_t interval_ns = params_.proc.poll_interval.count_ns();
+    const std::int64_t poll_ns = params_.proc.poll_overhead.count_ns();
+    const bool presummable =
+        params_.proc.mips_ratio == 1.0 && !polling && !opts_.emit_trace;
+    if (presummable) {
+      // The compile-time pre-summed records are exact here: scaling by 1.0
+      // is the identity per interval, no poll boundaries split intervals,
+      // and without trace emission nothing needs per-op times.  Costs
+      // commute (integer addition) and the per-access intra-cluster cost is
+      // an exact integer product (Time is integer ns), so the whole slice —
+      // compute AND communication — reduces to O(1) arithmetic on the
+      // segment's presums.  This is where the order-of-magnitude win at
+      // n=10^5 comes from: no per-op dispatch, no per-record walk.
+      T.stats.compute += seg.presum;
+      Time now = start + seg.presum;
+      T.stats.remote_accesses +=
+          static_cast<std::int64_t>(seg.remote_end) - seg.remote_begin;
+      if (seg.nonself_remotes > 0) {
+        // Every non-self access in a collapsed segment is intra-cluster:
+        // the contention pre-pass marks both endpoints of cross-cluster
+        // remotes, so a blocked thread never reaches this path.
+        const std::int64_t bytes_sum =
+            params_.size_mode == model::TransferSizeMode::Declared
+                ? seg.nonself_declared_bytes
+                : seg.nonself_actual_bytes;
+        const std::int64_t byte_ns =
+            params_.cluster.intra_byte_time.count_ns();
+        if (byte_ns == 0 ||
+            bytes_sum <= (std::int64_t{1} << 53) / byte_ns) {
+          T.stats.intra_cluster_accesses += seg.nonself_remotes;
+          const Time cost =
+              Time::ns(params_.cluster.intra_latency.count_ns() *
+                           seg.nonself_remotes +
+                       byte_ns * bytes_sum);
+          T.stats.comm_wait += cost;
+          now += cost;
+        } else {
+          // byte_ns * bytes could leave double's exact-integer range, where
+          // llround stops distributing over the sum — charge per record,
+          // exactly as the event path does.
+          for (std::uint32_t r = seg.remote_begin; r < seg.remote_end; ++r) {
+            const RemoteRec& rec = code.remotes[r];
+            if (rec.peer == T.id) continue;
+            XP_CHECK(cluster_of(rec.peer) == cluster_of(T.proc),
+                     "hybrid misclassification: cross-cluster access in a "
+                     "collapsed segment");
+            ++T.stats.intra_cluster_accesses;
+            const std::int64_t bytes = model::reply_payload_bytes(
+                params_.size_mode, rec.declared_bytes, rec.actual_bytes);
+            const Time cost = params_.cluster.intra_latency +
+                              params_.cluster.intra_byte_time *
+                                  static_cast<double>(bytes);
+            T.stats.comm_wait += cost;
+            now += cost;
+          }
+        }
+      }
+      T.remote = seg.remote_end;
+      hyb_.ops_collapsed += seg.op_end - seg.op_begin;
+      T.op = seg.op_end;
+      return now;
+    }
+    Time now = start;
+    for (std::uint32_t i = seg.op_begin;; ++i) {
+      const Time scaled = model::scale_compute(params_.proc, code.pre_delta[i]);
+      T.stats.compute += scaled;
+      now += scaled;
+      if (polling && interval_ns > 0 && scaled.count_ns() > 0) {
+        const std::int64_t boundaries = (scaled.count_ns() - 1) / interval_ns;
+        T.stats.polls += boundaries;
+        T.stats.poll_time += Time::ns(poll_ns * boundaries);
+        now += Time::ns(poll_ns * boundaries);
+      }
+      const OpKind k = code.ops[i];
+      if (k == OpKind::Barrier || k == OpKind::End) {
+        T.op = i;
+        return now;
+      }
+      ++hyb_.ops_collapsed;
+      switch (k) {
+        case OpKind::Begin:
+        case OpKind::Phase:
+          emit_at(T, code.proto[i], now);
+          break;
+        case OpKind::Remote: {
+          emit_at(T, code.proto[i], now);
+          const RemoteRec& rec = code.remotes[T.remote++];
+          ++T.stats.remote_accesses;
+          if (rec.peer != T.id) {
+            XP_CHECK(cluster_of(rec.peer) == cluster_of(T.proc),
+                     "hybrid misclassification: cross-cluster access in a "
+                     "collapsed segment");
+            ++T.stats.intra_cluster_accesses;
+            const std::int64_t bytes = model::reply_payload_bytes(
+                params_.size_mode, rec.declared_bytes, rec.actual_bytes);
+            const Time cost = params_.cluster.intra_latency +
+                              params_.cluster.intra_byte_time *
+                                  static_cast<double>(bytes);
+            T.stats.comm_wait += cost;
+            now += cost;
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+
+  void fast_forward(ThreadCtx& T) {
+    T.fastforwarding = true;
+    T.state = TState::Computing;
+    const Segment& seg = T.code->segments[T.barrier];
+    const Time at = walk_segment(T, seg, engine_.now());
+    const std::uint32_t i = T.op;
+    if (T.code->ops[i] == OpKind::End) {
+      ++hyb_.ops_collapsed;
+      T.op = i + 1;
+      T.fastforwarding = false;
+      emit_at(T, T.code->proto[i], at);
+      T.state = TState::Done;
+      T.stats.finish = at;
+      // The inbox is provably empty (no inbound traffic in a collapsed
+      // segment), so the event path's drain at End has nothing to do.
+      return;
+    }
+    // Terminating barrier: re-enter the engine exactly where event-driven
+    // replay would have executed the Barrier op, then run the normal
+    // barrier machinery so mixed epochs synchronize with event threads.
+    engine_.schedule_at(at, [this, &T, i] {
+      T.fastforwarding = false;
+      T.op = i + 1;
+      emit(T, T.code->proto[i]);
+      begin_barrier(T, T.code->barrier_ids[T.barrier++]);
+    });
+  }
+
+  /// The engine-free path: every segment of every thread collapsed, so the
+  /// whole run is a per-epoch loop of analytic segment walks joined by the
+  /// analytic barrier formula — the same arrival/release/exit values the
+  /// event path computes, without scheduling a single event.  This is what
+  /// makes n = 10^4..10^6 simulated processors feasible.
+  void run_analytic() {
+    const std::int64_t n_barriers = epochs_ - 1;
+    std::vector<Time> cur(static_cast<std::size_t>(n_),  Time::zero());
+    std::vector<Time> wait_start(static_cast<std::size_t>(n_), Time::zero());
+    std::vector<Time> arrival(static_cast<std::size_t>(n_), Time::zero());
+    for (std::int64_t e = 0; e < epochs_; ++e) {
+      Time max_arrival;
+      for (int t = 0; t < n_; ++t) {
+        ThreadCtx& T = *threads_[static_cast<std::size_t>(t)];
+        const Segment& seg = T.code->segments[static_cast<std::size_t>(e)];
+        const Time at = walk_segment(T, seg, cur[static_cast<std::size_t>(t)]);
+        const std::uint32_t i = T.op;
+        ++hyb_.ops_collapsed;
+        T.op = i + 1;
+        emit_at(T, T.code->proto[i], at);
+        if (e < n_barriers) {
+          ++T.barrier;
+          wait_start[static_cast<std::size_t>(t)] = at;
+          // Arrival is the entry-time CPU activity's completion, exactly as
+          // begin_barrier queues it before analytic_arrive records it.
+          arrival[static_cast<std::size_t>(t)] =
+              at + params_.barrier.entry_time;
+          max_arrival = util::max(
+              max_arrival, arrival[static_cast<std::size_t>(t)]);
+        } else {
+          T.state = TState::Done;
+          T.stats.finish = at;
+        }
+      }
+      if (e >= n_barriers) break;
+      // analytic_arrive fires the releases when the last arrival lands
+      // (engine clock == max arrival), clamping each exit to that instant.
+      const std::vector<Time> release =
+          model::analytic_release(params_.barrier, arrival);
+      const std::int32_t id =
+          threads_[0]->code->barrier_ids[static_cast<std::size_t>(e)];
+      for (int t = 0; t < n_; ++t) {
+        ThreadCtx& T = *threads_[static_cast<std::size_t>(t)];
+        const Time exit_at =
+            util::max(release[static_cast<std::size_t>(t)], max_arrival);
+        Event exit;
+        exit.kind = EventKind::BarrierExit;
+        exit.barrier_id = id;
+        emit_at(T, exit, exit_at);
+        T.stats.barrier_wait +=
+            exit_at - wait_start[static_cast<std::size_t>(t)];
+        cur[static_cast<std::size_t>(t)] = exit_at;
+      }
+    }
   }
 
   void start_compute(ThreadCtx& T, Time scaled) {
@@ -377,6 +669,9 @@ class Simulator {
 
   void deliver_request(const Msg& req) {
     ThreadCtx& O = thr(req.to);
+    XP_CHECK(!O.fastforwarding,
+             "hybrid misclassification: request delivered to a thread in a "
+             "collapsed segment");
     switch (O.state) {
       case TState::Computing:
         switch (params_.proc.policy) {
@@ -591,13 +886,20 @@ class Simulator {
 
   // --- output ---------------------------------------------------------------
 
-  void emit(ThreadCtx& T, Event e) {
-    e.time = engine_.now();
-    e.thread = T.id;
-    out_events_.push_back(e);
+  void emit(ThreadCtx& T, const Event& e) { emit_at(T, e, engine_.now()); }
+
+  // By reference so the no-trace configurations (sweeps, serve, huge-n
+  // hybrid runs) skip the Event copy entirely — it is measurable per-op.
+  void emit_at(ThreadCtx& T, const Event& e, Time at) {
+    if (!opts_.emit_trace) return;
+    Event out = e;
+    out.time = at;
+    out.thread = T.id;
+    out_events_.push_back(out);
   }
 
   SimParams params_;
+  SimOptions opts_;
   int n_;
   int n_procs_;
   model::BarrierPlan plan_;
@@ -607,6 +909,12 @@ class Simulator {
   std::vector<Cpu> cpus_;
   std::map<std::int32_t, AnalyticBarrier> analytic_;
   std::vector<Event> out_events_;
+
+  // Hybrid-mode state (classify()).
+  bool hybrid_active_ = false;
+  std::int64_t epochs_ = 0;
+  std::vector<char> blocked_;  ///< epochs_ x n_: segment demoted to events
+  HybridStats hyb_;
 };
 
 }  // namespace
@@ -629,16 +937,35 @@ Time SimResult::total_barrier_wait() const {
   return t;
 }
 
+const char* to_string(SimMode m) {
+  switch (m) {
+    case SimMode::EventDriven: return "event";
+    case SimMode::Hybrid: return "hybrid";
+    case SimMode::Auto: return "auto";
+  }
+  return "?";
+}
+
 SimResult simulate(const std::vector<trace::Trace>& translated,
                    const SimParams& params) {
+  return simulate(translated, params, SimOptions{});
+}
+
+SimResult simulate(const std::vector<trace::Trace>& translated,
+                   const SimParams& params, const SimOptions& opts) {
   XP_REQUIRE(!translated.empty(), "no translated traces");
-  return simulate_compiled(CompiledTrace::compile(translated), params);
+  return simulate_compiled(CompiledTrace::compile(translated), params, opts);
 }
 
 SimResult simulate_compiled(const CompiledTrace& compiled,
                             const SimParams& params) {
+  return simulate_compiled(compiled, params, SimOptions{});
+}
+
+SimResult simulate_compiled(const CompiledTrace& compiled,
+                            const SimParams& params, const SimOptions& opts) {
   XP_REQUIRE(compiled.n_threads >= 1, "no translated traces");
-  Simulator sim(compiled, params);
+  Simulator sim(compiled, params, opts);
   return sim.run();
 }
 

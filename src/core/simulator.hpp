@@ -46,6 +46,54 @@ struct ThreadStats {
   std::int64_t polls = 0;
 };
 
+/// Simulation mode (the hybrid analytic/discrete-event fast path).
+///
+///  * EventDriven — replay every op through the radix-calendar engine.
+///    The differential oracle: always available, always exact.
+///  * Hybrid — collapse barrier-delimited segments whose cost has a closed
+///    form (compute intervals + same-processor / intra-cluster remote
+///    accesses, with no cross-cluster traffic touching the thread that
+///    epoch) into analytic cost records and drop into the engine only for
+///    the remaining event segments.  The classifier is conservative: a
+///    segment is collapsed only when the closed form is provably exact, so
+///    Hybrid produces bitwise-identical makespans and per-thread stats to
+///    EventDriven on every input — demotion, not divergence, is the
+///    fallback.  When EVERY segment collapses the engine is skipped
+///    entirely (HybridStats::Path::PureAnalytic), which is what makes
+///    n = 10^4..10^6 simulated processors feasible.
+///  * Auto — let the library pick; currently an alias for Hybrid (kept
+///    distinct on the wire and in stats so the serving default can evolve
+///    without a protocol change).
+enum class SimMode : std::uint8_t { EventDriven, Hybrid, Auto };
+const char* to_string(SimMode m);
+
+struct SimOptions {
+  SimMode mode = SimMode::EventDriven;
+  /// Build the re-timestamped extrapolated trace.  Costs O(events) memory +
+  /// a sort; numeric outputs (makespan, stats, messages) are unaffected, so
+  /// huge-n scaling runs turn it off.
+  bool emit_trace = true;
+};
+
+/// How the hybrid classifier fared on one run (all zeros in EventDriven
+/// mode).  segments are per-(epoch, thread) barrier-delimited slices; a
+/// demoted segment is one the classifier sent to the event engine because
+/// cross-cluster traffic touched its thread that epoch (contended owner or
+/// message-latency dependence).
+struct HybridStats {
+  enum class Path : std::uint8_t {
+    Event,         ///< whole run replayed through the engine
+    Mixed,         ///< collapsed segments + event segments coexist
+    PureAnalytic,  ///< every segment collapsed; engine never ran
+  };
+  Path path = Path::Event;
+  std::int64_t epochs = 0;
+  std::int64_t segments_total = 0;
+  std::int64_t segments_collapsed = 0;
+  std::int64_t segments_demoted = 0;
+  std::int64_t ops_collapsed = 0;  ///< replay steps that skipped the engine
+};
+
 struct SimResult {
   Time makespan;                   ///< predicted n-processor execution time
   std::vector<ThreadStats> threads;
@@ -54,6 +102,7 @@ struct SimResult {
   std::int64_t bytes = 0;          ///< network bytes
   double avg_inflight = 0.0;       ///< mean in-flight messages at injection
   std::uint64_t engine_events = 0;
+  HybridStats hybrid;
 
   Time total_compute() const;
   Time total_comm_wait() const;
@@ -67,10 +116,14 @@ struct SimResult {
 /// and use the overload below.
 SimResult simulate(const std::vector<trace::Trace>& translated,
                    const SimParams& params);
+SimResult simulate(const std::vector<trace::Trace>& translated,
+                   const SimParams& params, const SimOptions& opts);
 
 /// Replay an already-compiled trace set.  This is the sweep hot path: one
 /// CompiledTrace is shared read-only by every simulation of a grid.
 SimResult simulate_compiled(const CompiledTrace& compiled,
                             const SimParams& params);
+SimResult simulate_compiled(const CompiledTrace& compiled,
+                            const SimParams& params, const SimOptions& opts);
 
 }  // namespace xp::core

@@ -386,7 +386,8 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
         [&, i] {
           const double cpu0 = thread_cpu_seconds();
           try {
-            out.predictions[i] = predict(*prepared[i], grid[i].params);
+            out.predictions[i] =
+                predict(*prepared[i], grid[i].params, {grid[i].mode});
           } catch (...) {
             keep_first_error();
           }
@@ -399,6 +400,21 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
   for (double s : sim_cpu) out.stages.simulate_cpu_s += s;
   if (first_error) std::rethrow_exception(first_error);
 
+  // Simulate-mode attribution: events fired vs segments skipped, summed
+  // over the grid so scaling rows can tell engine work from analytic work.
+  for (const Prediction& p : out.predictions) {
+    const HybridStats& h = p.sim.hybrid;
+    if (h.segments_collapsed > 0)
+      ++out.stages.cells_hybrid;
+    else
+      ++out.stages.cells_event;
+    out.stages.sim_events_fired +=
+        static_cast<std::int64_t>(p.sim.engine_events);
+    out.stages.sim_segments_collapsed += h.segments_collapsed;
+    out.stages.sim_segments_total += h.segments_total;
+    out.stages.sim_ops_collapsed += h.ops_collapsed;
+  }
+
   out.cache_hits = cache_->hits() - hits0;
   out.cache_misses = cache_->misses() - misses0;
   return out;
@@ -406,7 +422,8 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
 
 SweepResult SweepRunner::run_grid(const std::vector<int>& procs,
                                   const std::vector<model::SimParams>& machines,
-                                  const std::vector<std::string>& labels) {
+                                  const std::vector<std::string>& labels,
+                                  SimMode mode) {
   XP_REQUIRE(labels.empty() || labels.size() == machines.size(),
              "run_grid: one label per machine (or none)");
   std::vector<SweepPoint> grid;
@@ -417,6 +434,7 @@ SweepResult SweepRunner::run_grid(const std::vector<int>& procs,
       p.n_threads = n;
       p.params = machines[m];
       p.label = labels.empty() ? "set" + std::to_string(m) : labels[m];
+      p.mode = mode;
       grid.push_back(std::move(p));
     }
   }

@@ -140,6 +140,10 @@ struct SweepPoint {
   int n_threads = 0;
   model::SimParams params;
   std::string label;  ///< free-form series tag (machine name, hypothesis, …)
+  /// Simulation mode for this cell (core/simulator.hpp).  Hybrid/Auto are
+  /// conservative-exact, so mode choice never changes the prediction — only
+  /// how much of the replay the event engine runs.
+  SimMode mode = SimMode::EventDriven;
 };
 
 /// Per-stage timing of one sweep, for the scaling benchmarks.  Every stage
@@ -156,6 +160,16 @@ struct SweepStages {
   double simulate_cpu_s = 0;   ///< summed per-cell simulation CPU seconds
   double prewarm_wall_s = 0;   ///< wall time of the measure/translate stage
   double simulate_wall_s = 0;  ///< wall time of the simulation fan-out
+
+  // Simulate-mode breakdown: how the grid's replay work split between the
+  // event engine and the hybrid analytic fast path, so scaling rows can
+  // attribute wins (events fired vs segments skipped).
+  std::int64_t cells_event = 0;     ///< cells simulated fully event-driven
+  std::int64_t cells_hybrid = 0;    ///< cells where segments collapsed
+  std::int64_t sim_events_fired = 0;       ///< engine events, whole grid
+  std::int64_t sim_segments_collapsed = 0; ///< analytic segments, whole grid
+  std::int64_t sim_segments_total = 0;     ///< all segments, whole grid
+  std::int64_t sim_ops_collapsed = 0;      ///< replay steps skipped
 };
 
 struct SweepResult {
@@ -204,10 +218,11 @@ class SweepRunner {
 
   /// Convenience: the full cross product procs x machines, row-major
   /// (machine-major: all procs of machines[0] first).  `labels` names each
-  /// machine series; empty = "set<i>".
+  /// machine series; empty = "set<i>".  `mode` applies to every cell.
   SweepResult run_grid(const std::vector<int>& procs,
                        const std::vector<model::SimParams>& machines,
-                       const std::vector<std::string>& labels = {});
+                       const std::vector<std::string>& labels = {},
+                       SimMode mode = SimMode::EventDriven);
 
   const SweepOptions& options() const { return opt_; }
   TranslateCache& cache() { return *cache_; }

@@ -151,4 +151,18 @@ Time ideal_parallel_time(const std::vector<trace::Trace>& translated) {
   return t;
 }
 
+std::vector<std::int64_t> owner_access_histogram(
+    const std::vector<trace::Trace>& translated) {
+  XP_REQUIRE(!translated.empty(), "no translated traces");
+  const auto n = static_cast<std::int64_t>(translated.size());
+  std::vector<std::int64_t> hist(translated.size(), 0);
+  for (const trace::Trace& part : translated)
+    for (const trace::Event& e : part.events())
+      if ((e.kind == trace::EventKind::RemoteRead ||
+           e.kind == trace::EventKind::RemoteWrite) &&
+          e.peer >= 0 && e.peer < n)
+        ++hist[static_cast<std::size_t>(e.peer)];
+  return hist;
+}
+
 }  // namespace xp::core

@@ -18,6 +18,7 @@
 // target environment's costs back in.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "trace/trace.hpp"
@@ -48,5 +49,13 @@ std::vector<trace::Trace> translate(const trace::Trace& measured,
 /// Makespan of a translated trace set: the ideal n-processor execution time
 /// under zero communication/synchronization cost.
 Time ideal_parallel_time(const std::vector<trace::Trace>& translated);
+
+/// Per-owner remote-access histogram: out[t] counts the RemoteRead/
+/// RemoteWrite events (across all threads) whose owner is thread t.  This is
+/// the contention pre-pass of the hybrid simulator: a thread nobody targets
+/// is demonstrably idle as an owner, so accesses it *makes* can be costed
+/// analytically without queueing through the event engine.
+std::vector<std::int64_t> owner_access_histogram(
+    const std::vector<trace::Trace>& translated);
 
 }  // namespace xp::core

@@ -17,6 +17,16 @@ namespace {
 constexpr std::size_t kMaxFreePerSize = 32;       // shared pool, per size
 constexpr std::size_t kMaxLocalFreePerSize = 8;   // per-thread cache, per size
 
+// Beyond this many live stacks, new stacks come from SLABS: one mapping
+// holding kSlabStacks stacks with no interior guard pages.  A guarded
+// stack costs ~2 kernel vmas (the PROT_NONE guard splits its mapping), so
+// 10^5 concurrent fibers — the hybrid simulator's huge-n measurements —
+// would blow through vm.max_map_count (65530 by default) long before
+// memory runs out.  Slabs trade the guard page for a ~128x smaller vma
+// footprint; the threshold keeps every normal workload on guarded stacks.
+constexpr std::size_t kGuardedStackLimit = 16384;
+constexpr std::size_t kSlabStacks = 64;
+
 std::size_t page_size() {
   static const std::size_t ps = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
   return ps;
@@ -34,8 +44,9 @@ struct AtomicStats {
 
 struct Pool {
   std::mutex mu;
-  // Free stacks keyed by map_bytes.  StackSpan is POD; only map_base and
-  // map_bytes matter for pooled entries (top/usable are recomputed).
+  // Free stacks keyed by USABLE bytes, so guarded and slab-backed stacks
+  // of one size class share a free list (their map_bytes differ by the
+  // guard page).
   std::unordered_map<std::size_t, std::vector<StackSpan>> free_by_size;
   AtomicStats stats;
 
@@ -94,12 +105,11 @@ StackSpan stack_acquire(std::size_t usable_bytes) {
   XP_REQUIRE(usable_bytes > 0, "stack_acquire: zero-sized stack");
   const std::size_t ps = page_size();
   const std::size_t usable = ((usable_bytes + ps - 1) / ps) * ps;
-  const std::size_t map_bytes = usable + ps;  // + guard page
 
   Pool& p = pool();
   LocalCache& local = local_cache();
   {
-    auto it = local.free_by_size.find(map_bytes);
+    auto it = local.free_by_size.find(usable);
     if (it != local.free_by_size.end() && !it->second.empty()) {
       StackSpan s = it->second.back();
       it->second.pop_back();
@@ -110,7 +120,7 @@ StackSpan stack_acquire(std::size_t usable_bytes) {
   }
   {
     std::lock_guard<std::mutex> lock(p.mu);
-    auto it = p.free_by_size.find(map_bytes);
+    auto it = p.free_by_size.find(usable);
     if (it != p.free_by_size.end() && !it->second.empty()) {
       StackSpan s = it->second.back();
       it->second.pop_back();
@@ -120,6 +130,35 @@ StackSpan stack_acquire(std::size_t usable_bytes) {
     }
   }
 
+  const std::int64_t active = p.stats.active.load(std::memory_order_relaxed);
+  if (active >= 0 && static_cast<std::size_t>(active) >= kGuardedStackLimit) {
+    // Slab path (see kGuardedStackLimit): one vma for kSlabStacks stacks.
+    // No interior guards — an overflow runs into the neighboring fiber's
+    // stack instead of faulting, the price of 10^5-fiber measurements.
+    const std::size_t slab_bytes = usable * kSlabStacks;
+    void* base = ::mmap(nullptr, slab_bytes, PROT_READ | PROT_WRITE,
+                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    XP_CHECK(base != MAP_FAILED, "mmap of fiber stack slab failed");
+    p.stats.mapped.fetch_add(kSlabStacks, std::memory_order_relaxed);
+    auto& inventory = local.free_by_size[usable];
+    for (std::size_t i = 1; i < kSlabStacks; ++i) {
+      StackSpan s;
+      s.map_base = static_cast<char*>(base) + i * usable;
+      s.map_bytes = usable;
+      s.top = static_cast<char*>(s.map_base) + usable;
+      s.usable = usable;
+      inventory.push_back(s);
+    }
+    StackSpan s;
+    s.map_base = base;
+    s.map_bytes = usable;
+    s.top = static_cast<char*>(base) + usable;
+    s.usable = usable;
+    p.stats.active.fetch_add(1, std::memory_order_relaxed);
+    return s;
+  }
+
+  const std::size_t map_bytes = usable + ps;  // + guard page
   void* base = ::mmap(nullptr, map_bytes, PROT_READ | PROT_WRITE,
                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   XP_CHECK(base != MAP_FAILED, "mmap of fiber stack failed");
@@ -140,14 +179,14 @@ void stack_release(StackSpan s) {
   if (!s) return;
   Pool& p = pool();
   p.stats.active.fetch_sub(1, std::memory_order_relaxed);
-  auto& local = local_cache().free_by_size[s.map_bytes];
+  auto& local = local_cache().free_by_size[s.usable];
   if (local.size() < kMaxLocalFreePerSize) {
     local.push_back(s);
     return;
   }
   {
     std::lock_guard<std::mutex> lock(p.mu);
-    auto& spans = p.free_by_size[s.map_bytes];
+    auto& spans = p.free_by_size[s.usable];
     if (spans.size() < kMaxFreePerSize) {
       spans.push_back(s);
       return;

@@ -22,6 +22,12 @@
 // path.  A thread's cache drains into the shared pool when the thread
 // exits.  Each level holds a bounded number of stacks per size class;
 // overflow unmaps immediately, bounding idle memory.
+//
+// Huge fiber counts (the hybrid simulator's 10^5-thread measurements)
+// switch to SLAB allocation: past kGuardedStackLimit live stacks, new
+// stacks are carved 64 at a time from one guard-less mapping, keeping the
+// kernel vma count far below vm.max_map_count at the cost of overflow
+// detection on those stacks.
 #pragma once
 
 #include <cstddef>

@@ -88,23 +88,25 @@ class Collection {
   }
 
   /// Linear indices owned by the calling thread, row-major order.
-  /// Cached per thread (the ownership map is immutable), since phase loops
-  /// call this every iteration.
+  /// The first call builds EVERY thread's list in one O(size) pass over
+  /// the ownership map (immutable after construction) — per-thread
+  /// Distribution::owned_by scans would cost O(n_threads * size), which
+  /// at the hybrid simulator's 10^5-thread measurements dominates the
+  /// whole run.  Fibers of one runtime share an OS thread, so the lazy
+  /// build needs no synchronization.
   const std::vector<std::int64_t>& my_elements() const {
     const auto t = static_cast<std::size_t>(rt_->thread_id());
-    if (owned_cache_.empty())
+    if (owned_cache_.empty()) {
       owned_cache_.resize(static_cast<std::size_t>(dist_.n_threads()));
-    auto& entry = owned_cache_[t];
-    if (!entry.cached) {
-      entry.elements = dist_.owned_by(static_cast<int>(t));
-      entry.cached = true;
+      for (std::int64_t i = 0; i < dist_.size(); ++i)
+        owned_cache_[static_cast<std::size_t>(dist_.owner(i))]
+            .elements.push_back(i);
     }
-    return entry.elements;
+    return owned_cache_[t].elements;
   }
 
  private:
   struct OwnedCache {
-    bool cached = false;
     std::vector<std::int64_t> elements;
   };
 

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <sstream>
 #include <utility>
@@ -183,10 +184,17 @@ std::vector<QueryResult> Client::query_batch(
 
 Client::Ticket Client::submit_batch(std::uint64_t session,
                                     const std::vector<Query>& queries) {
+  // All-default-mode batches keep the flagless (pre-mode) wire form, so a
+  // client that never asks for an explicit mode stays compatible with
+  // servers that predate kBatchHasModes.
+  const bool with_modes =
+      std::any_of(queries.begin(), queries.end(),
+                  [](const Query& q) { return q.mode != QueryMode::Auto; });
   WireWriter w;
   w.u64(session);
-  w.u32(static_cast<std::uint32_t>(queries.size()));
-  for (const Query& q : queries) encode_query(w, q);
+  w.u32(static_cast<std::uint32_t>(queries.size()) |
+        (with_modes ? kBatchHasModes : 0u));
+  for (const Query& q : queries) encode_query(w, q, with_modes);
   return send_request(MsgType::QueryBatch, w.data());
 }
 
@@ -205,9 +213,9 @@ std::vector<QueryResult> Client::wait_batch(Ticket t) {
 ServerStats Client::stats() {
   const std::string body = wait_ok(send_request(MsgType::Stats, {}));
   WireReader r(body);
-  ServerStats s = decode_stats(r);
-  r.expect_end();
-  return s;
+  // No expect_end: stats replies are extensible (fields append at the
+  // end, see ServerStats), so tolerate counters newer than this client.
+  return decode_stats(r);
 }
 
 void Client::shutdown_server() {

@@ -121,17 +121,33 @@ std::optional<std::pair<Frame, std::size_t>> try_parse_frame(
 
 // --- message bodies --------------------------------------------------------
 
-void encode_query(WireWriter& w, const Query& q) {
+const char* to_string(QueryMode m) {
+  switch (m) {
+    case QueryMode::Auto: return "auto";
+    case QueryMode::EventDriven: return "event";
+    case QueryMode::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+void encode_query(WireWriter& w, const Query& q, bool with_mode) {
   w.i32(q.n_procs);
   w.f64(q.mips_ratio);
   w.str(q.params_text);
+  if (with_mode) w.u8(static_cast<std::uint8_t>(q.mode));
 }
 
-Query decode_query(WireReader& r) {
+Query decode_query(WireReader& r, bool with_mode) {
   Query q;
   q.n_procs = r.i32();
   q.mips_ratio = r.f64();
   q.params_text = r.str();
+  if (with_mode) {
+    const std::uint8_t m = r.u8();
+    if (m > static_cast<std::uint8_t>(QueryMode::Hybrid))
+      throw ProtocolError("unknown query mode " + std::to_string(m));
+    q.mode = static_cast<QueryMode>(m);
+  }
   return q;
 }
 
@@ -186,6 +202,10 @@ void encode_stats(WireWriter& w, const ServerStats& s) {
   w.f64(s.measure_cpu_s);
   w.f64(s.translate_cpu_s);
   w.f64(s.simulate_cpu_s);
+  // Appended extension (see ServerStats): order is part of the protocol.
+  w.u64(s.queries_auto);
+  w.u64(s.queries_event);
+  w.u64(s.queries_hybrid);
 }
 
 ServerStats decode_stats(WireReader& r) {
@@ -206,6 +226,13 @@ ServerStats decode_stats(WireReader& r) {
   s.measure_cpu_s = r.f64();
   s.translate_cpu_s = r.f64();
   s.simulate_cpu_s = r.f64();
+  // Trailing fields are optional: a pre-mode server stops here, and the
+  // per-mode counts keep their zero defaults.
+  if (r.remaining() >= 3 * 8) {
+    s.queries_auto = r.u64();
+    s.queries_event = r.u64();
+    s.queries_hybrid = r.u64();
+  }
   return s;
 }
 

@@ -47,6 +47,13 @@ constexpr std::uint32_t kMaxFrameBytes = 64u << 20;
 /// Replies echo the request type with this bit set.
 constexpr std::uint8_t kReplyBit = 0x80;
 
+/// QUERY_BATCH versioning: set on the query-count u32 when every encoded
+/// query carries a trailing mode byte.  Unambiguous — the server caps
+/// batches at 2^20 queries, so a count with this bit set can only mean a
+/// mode-carrying batch.  Clients that never set a non-default mode keep
+/// emitting the flagless wire form, which old servers parse unchanged.
+constexpr std::uint32_t kBatchHasModes = 1u << 31;
+
 enum class MsgType : std::uint8_t {
   LoadTrace = 1,     ///< body: XPTB binary trace bytes -> session
   OpenBench = 2,     ///< body: suite benchmark name -> session
@@ -56,6 +63,18 @@ enum class MsgType : std::uint8_t {
   Shutdown = 6,      ///< body: empty; server drains and exits
 };
 
+/// Requested simulation mode for one query (core::SimMode on the wire).
+/// Hybrid and Auto are conservative-exact, so the mode never changes the
+/// numbers in a QueryResult — only how the server computes them.  Auto is
+/// the default so flagless (pre-mode) batches get the fast path for free.
+enum class QueryMode : std::uint8_t {
+  Auto = 0,         ///< server picks (hybrid where sound; the default)
+  EventDriven = 1,  ///< force the full discrete-event replay
+  Hybrid = 2,       ///< force the analytic fast path where sound
+};
+
+const char* to_string(QueryMode m);
+
 /// One what-if query against a session: predict the session's program on
 /// `n_procs` processors of the machine described by `params_text`
 /// (key=value lines for model::parse_params_string; empty = defaults) with
@@ -64,6 +83,8 @@ struct Query {
   std::int32_t n_procs = 0;
   double mips_ratio = 0.0;  ///< <= 0: keep the value in params_text
   std::string params_text;
+  /// Only on the wire when the batch count carries kBatchHasModes.
+  QueryMode mode = QueryMode::Auto;
 
   bool operator==(const Query&) const = default;
 };
@@ -89,6 +110,12 @@ struct QueryResult {
 /// The `stats` verb's answer: service counters plus the translate-cache
 /// totals (summed over all per-source caches) and per-stage CPU-seconds in
 /// the spirit of core::SweepStages.
+///
+/// Extensibility rule: new fields append at the END of the encoding and
+/// decoders stop at the bytes they have (decode_stats zero-fills absent
+/// trailing fields), so stats replies stay parseable across versions in
+/// both directions.  The per-mode query counts below were the first such
+/// extension.
 struct ServerStats {
   std::uint64_t connections_total = 0;
   std::uint64_t connections_open = 0;
@@ -106,6 +133,10 @@ struct ServerStats {
   double measure_cpu_s = 0;
   double translate_cpu_s = 0;
   double simulate_cpu_s = 0;
+  // Queries by requested mode (appended extension; old replies decode to 0).
+  std::uint64_t queries_auto = 0;
+  std::uint64_t queries_event = 0;
+  std::uint64_t queries_hybrid = 0;
 
   bool operator==(const ServerStats&) const = default;
 };
@@ -182,8 +213,11 @@ std::optional<std::pair<Frame, std::size_t>> try_parse_frame(
 
 // --- message bodies --------------------------------------------------------
 
-void encode_query(WireWriter& w, const Query& q);
-Query decode_query(WireReader& r);
+/// `with_mode` selects the kBatchHasModes wire form (a trailing mode
+/// byte); without it the mode is neither written nor read and defaults to
+/// QueryMode::Auto on decode.
+void encode_query(WireWriter& w, const Query& q, bool with_mode = false);
+Query decode_query(WireReader& r, bool with_mode = false);
 
 void encode_query_result(WireWriter& w, const QueryResult& res);
 QueryResult decode_query_result(WireReader& r);

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <exception>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
@@ -125,6 +126,9 @@ void Service::close_session(std::uint64_t id) {
 
 QueryResult Service::run_query_on(Source& src, const Query& q) {
   QueryResult res;
+  queries_by_mode_[static_cast<std::size_t>(q.mode) %
+                   std::size(queries_by_mode_)]
+      .fetch_add(1);
   try {
     XP_REQUIRE(q.n_procs >= 1, "query needs n_procs >= 1");
     model::SimParams params = q.params_text.empty()
@@ -172,7 +176,26 @@ QueryResult Service::run_query_on(Source& src, const Query& q) {
       translate_cpu_s_.fetch_add((prepared_cpu - cpu0) - measure_cpu);
     }
 
-    const core::Prediction pred = core::predict(*prepared, params);
+    // Hybrid and Auto are conservative-exact (tests hold every mode
+    // bitwise-equal), so honoring the wire mode never changes a reply —
+    // and QueryResult carries no engine-event count, so defaulting to
+    // Auto is invisible to byte-comparing clients.  The served result
+    // never returns the extrapolated trace, so skip emitting it; that
+    // also unlocks the simulator's pre-summed segment shortcut.
+    core::SimOptions sopts;
+    sopts.emit_trace = false;
+    switch (q.mode) {
+      case QueryMode::EventDriven:
+        sopts.mode = core::SimMode::EventDriven;
+        break;
+      case QueryMode::Hybrid:
+        sopts.mode = core::SimMode::Hybrid;
+        break;
+      case QueryMode::Auto:
+        sopts.mode = core::SimMode::Auto;
+        break;
+    }
+    const core::Prediction pred = core::predict(*prepared, params, sopts);
     simulate_cpu_s_.fetch_add(thread_cpu_seconds() - prepared_cpu);
 
     res.ok = true;
@@ -263,13 +286,18 @@ std::string Service::dispatch(const Frame& frame) {
 void Service::dispatch_batch(Frame frame, Completion done) {
   WireReader r(frame.body);
   const std::uint64_t session = r.u64();
-  const std::uint32_t count = r.u32();
+  const std::uint32_t raw_count = r.u32();
+  // kBatchHasModes flags the versioned wire form (per-query mode byte);
+  // flagless batches decode exactly as before, with every mode Auto.
+  const bool has_modes = (raw_count & kBatchHasModes) != 0;
+  const std::uint32_t count = raw_count & ~kBatchHasModes;
   if (count > kMaxBatchQueries)
     throw ProtocolError("batch of " + std::to_string(count) +
                         " queries exceeds the per-request cap");
   std::vector<Query> queries;
   queries.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) queries.push_back(decode_query(r));
+  for (std::uint32_t i = 0; i < count; ++i)
+    queries.push_back(decode_query(r, has_modes));
   r.expect_end();
 
   const auto src = session_source(session);
@@ -341,7 +369,10 @@ void Service::handle_async(std::string payload, Completion done) {
     frame.body = std::string(r.rest());
 
     if (type == MsgType::QueryBatch) {
-      dispatch_batch(std::move(frame), std::move(done));
+      // Pass a COPY of the completion: if batch decode throws, the catch
+      // below must still hold a live callback to deliver the error reply
+      // (a moved-from one is a bad_function_call).
+      dispatch_batch(std::move(frame), done);
       return;
     }
     const std::string body = dispatch(frame);
@@ -396,6 +427,12 @@ ServerStats Service::stats() const {
   s.measure_cpu_s = measure_cpu_s_.load();
   s.translate_cpu_s = translate_cpu_s_.load();
   s.simulate_cpu_s = simulate_cpu_s_.load();
+  s.queries_auto =
+      queries_by_mode_[static_cast<std::size_t>(QueryMode::Auto)].load();
+  s.queries_event =
+      queries_by_mode_[static_cast<std::size_t>(QueryMode::EventDriven)].load();
+  s.queries_hybrid =
+      queries_by_mode_[static_cast<std::size_t>(QueryMode::Hybrid)].load();
   std::lock_guard<std::mutex> lock(mu_);
   s.sessions_open = sessions_.size();
   for (const auto& [fp, src] : sources_) {

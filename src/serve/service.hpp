@@ -125,6 +125,10 @@ class Service {
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> queries_ok_{0};
   std::atomic<std::uint64_t> queries_err_{0};
+  /// Queries by REQUESTED mode (the wire byte, not the path the simulator
+  /// ended up on) — indexed by QueryMode, so the stats verb can show how
+  /// much traffic opts out of the hybrid default.
+  std::atomic<std::uint64_t> queries_by_mode_[3] = {};
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<double> measure_cpu_s_{0};
   std::atomic<double> translate_cpu_s_{0};

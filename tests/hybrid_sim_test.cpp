@@ -1,0 +1,326 @@
+// Differential suite for the hybrid analytic/discrete-event fast path
+// (core/simulator.hpp, SimMode::Hybrid / Auto).
+//
+// The hybrid classifier is conservative: a barrier-delimited segment is
+// collapsed into its closed form only when that form is provably exact, and
+// everything else demotes to the event engine.  The contract under test is
+// therefore not "close" but *bitwise identical* — makespan, every per-thread
+// stat, message/byte counts, and the multiset of extrapolated events must
+// match EventDriven on every input: the golden trace, all seven suite codes
+// at n in {4, 8, 16}, and randomized contention configurations (where Auto
+// demotes contended owners, the divergence bound is exactly zero).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <random>
+#include <tuple>
+#include <vector>
+
+#include "core/compiled_trace.hpp"
+#include "core/simulator.hpp"
+#include "core/translate.hpp"
+#include "model/params.hpp"
+#include "rt/runtime.hpp"
+#include "suite/suite.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+
+using namespace xp;
+using core::CompiledTrace;
+using core::HybridStats;
+using core::SimMode;
+using core::SimOptions;
+using core::SimResult;
+using trace::Event;
+using trace::Trace;
+using util::Time;
+
+const char* kGoldenPath = XP_GOLDEN_DIR "/grid_n4.xpt";
+
+model::SimParams single_cluster(model::SimParams p) {
+  p.cluster.procs_per_cluster = 1 << 30;
+  return p;
+}
+
+/// The analytic-barrier presets (by_msgs=false), where the hybrid path can
+/// engage; the message-barrier presets demote wholesale.
+std::vector<std::pair<std::string, model::SimParams>> analytic_presets() {
+  return {{"ideal", model::ideal_preset()},
+          {"shared", model::shared_memory_preset()},
+          {"sgi", model::sgi_shared_preset()},
+          {"ideal/1cluster", single_cluster(model::ideal_preset())},
+          {"shared/1cluster", single_cluster(model::shared_memory_preset())}};
+}
+
+std::vector<std::pair<std::string, model::SimParams>> message_presets() {
+  return {{"distributed", model::distributed_preset()},
+          {"cm5", model::cm5_preset()},
+          {"paragon", model::paragon_preset()},
+          {"sp1", model::sp1_preset()}};
+}
+
+/// Canonical event ordering: the extrapolated trace is stable-sorted by time
+/// only, and the two modes emit ties in different insertion orders, so the
+/// comparison is over the canonically sorted multiset.
+std::vector<Event> canonical_events(const Trace& t) {
+  std::vector<Event> ev = t.events();
+  std::sort(ev.begin(), ev.end(), [](const Event& a, const Event& b) {
+    return std::tuple(a.time.count_ns(), a.thread, static_cast<int>(a.kind),
+                      a.barrier_id, a.peer, a.object, a.declared_bytes,
+                      a.actual_bytes) <
+           std::tuple(b.time.count_ns(), b.thread, static_cast<int>(b.kind),
+                      b.barrier_id, b.peer, b.object, b.declared_bytes,
+                      b.actual_bytes);
+  });
+  return ev;
+}
+
+void expect_bitwise_equal(const SimResult& ev, const SimResult& hy,
+                          const std::string& what) {
+  SCOPED_TRACE(what);
+  EXPECT_EQ(ev.makespan.count_ns(), hy.makespan.count_ns());
+  ASSERT_EQ(ev.threads.size(), hy.threads.size());
+  for (std::size_t t = 0; t < ev.threads.size(); ++t) {
+    SCOPED_TRACE("thread " + std::to_string(t));
+    const auto& a = ev.threads[t];
+    const auto& b = hy.threads[t];
+    EXPECT_EQ(a.compute.count_ns(), b.compute.count_ns());
+    EXPECT_EQ(a.comm_wait.count_ns(), b.comm_wait.count_ns());
+    EXPECT_EQ(a.barrier_wait.count_ns(), b.barrier_wait.count_ns());
+    EXPECT_EQ(a.send_overhead.count_ns(), b.send_overhead.count_ns());
+    EXPECT_EQ(a.service_time.count_ns(), b.service_time.count_ns());
+    EXPECT_EQ(a.poll_time.count_ns(), b.poll_time.count_ns());
+    EXPECT_EQ(a.finish.count_ns(), b.finish.count_ns());
+    EXPECT_EQ(a.remote_accesses, b.remote_accesses);
+    EXPECT_EQ(a.intra_cluster_accesses, b.intra_cluster_accesses);
+    EXPECT_EQ(a.requests_served, b.requests_served);
+    EXPECT_EQ(a.interrupts_taken, b.interrupts_taken);
+    EXPECT_EQ(a.polls, b.polls);
+  }
+  EXPECT_EQ(ev.messages, hy.messages);
+  EXPECT_EQ(ev.bytes, hy.bytes);
+  EXPECT_EQ(ev.avg_inflight, hy.avg_inflight);
+  EXPECT_EQ(canonical_events(ev.extrapolated),
+            canonical_events(hy.extrapolated));
+}
+
+Trace load_golden() {
+  std::ifstream in(kGoldenPath);
+  EXPECT_TRUE(in.good()) << "missing golden trace " << kGoldenPath;
+  return trace::read_text(in);
+}
+
+const Trace& measured(const std::string& bench, int n) {
+  static std::map<std::string, Trace> cache;
+  const std::string key = bench + "/" + std::to_string(n);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  auto prog = suite::make_by_name(bench, suite::SuiteConfig{});
+  rt::MeasureOptions mo;
+  mo.n_threads = n;
+  return cache.emplace(key, rt::measure(*prog, mo)).first->second;
+}
+
+}  // namespace
+
+// Structural invariants of the compile-time segment table the classifier
+// builds on.
+TEST(HybridSim, SegmentTableInvariants) {
+  const auto translated = core::translate(load_golden());
+  const CompiledTrace ct = CompiledTrace::compile(translated);
+  EXPECT_TRUE(ct.uniform_barriers);
+  EXPECT_EQ(ct.inbound_remotes, core::owner_access_histogram(translated));
+  for (const auto& th : ct.threads) {
+    ASSERT_EQ(th.segments.size(), th.barrier_ids.size() + 1);
+    std::uint32_t next_op = 0, next_remote = 0;
+    Time total;
+    for (std::size_t s = 0; s < th.segments.size(); ++s) {
+      const core::Segment& seg = th.segments[s];
+      EXPECT_EQ(seg.op_begin, next_op);
+      EXPECT_EQ(seg.remote_begin, next_remote);
+      ASSERT_LT(seg.op_end, th.ops.size());
+      const core::OpKind term = th.ops[seg.op_end];
+      EXPECT_EQ(term, s + 1 == th.segments.size() ? core::OpKind::End
+                                                  : core::OpKind::Barrier);
+      Time presum;
+      for (std::uint32_t i = seg.op_begin; i <= seg.op_end; ++i)
+        presum += th.pre_delta[i];
+      EXPECT_EQ(presum.count_ns(), seg.presum.count_ns());
+      total += presum;
+      next_op = seg.op_end + 1;
+      next_remote = seg.remote_end;
+    }
+    EXPECT_EQ(next_op, th.ops.size());
+    EXPECT_EQ(next_remote, th.remotes.size());
+  }
+}
+
+// The acceptance bar: Hybrid == EventDriven bitwise on the golden trace
+// under every preset, analytic and message-barrier alike.
+TEST(HybridSim, GoldenTraceBitwiseAllPresets) {
+  const auto translated = core::translate(load_golden());
+  const CompiledTrace ct = CompiledTrace::compile(translated);
+  auto presets = analytic_presets();
+  for (auto& [name, p] : message_presets()) presets.emplace_back(name, p);
+  for (const auto& [name, params] : presets) {
+    const SimResult ev = core::simulate_compiled(ct, params);
+    const SimResult hy =
+        core::simulate_compiled(ct, params, {SimMode::Hybrid});
+    const SimResult au = core::simulate_compiled(ct, params, {SimMode::Auto});
+    expect_bitwise_equal(ev, hy, "golden/" + name + "/hybrid");
+    expect_bitwise_equal(ev, au, "golden/" + name + "/auto");
+    EXPECT_EQ(ev.hybrid.segments_collapsed, 0);  // oracle never collapses
+  }
+}
+
+// Single-cluster analytic presets must actually engage the fast path on the
+// golden trace — a hybrid mode that silently demotes everything would pass
+// the differential tests while delivering no speedup.
+TEST(HybridSim, GoldenTraceCollapsesUnderSingleCluster) {
+  const auto translated = core::translate(load_golden());
+  const CompiledTrace ct = CompiledTrace::compile(translated);
+  const SimResult hy = core::simulate_compiled(
+      ct, single_cluster(model::shared_memory_preset()), {SimMode::Hybrid});
+  EXPECT_EQ(hy.hybrid.path, HybridStats::Path::PureAnalytic);
+  EXPECT_GT(hy.hybrid.segments_collapsed, 0);
+  EXPECT_EQ(hy.hybrid.segments_demoted, 0);
+  EXPECT_GT(hy.hybrid.ops_collapsed, 0);
+  EXPECT_EQ(hy.engine_events, 0u);
+  EXPECT_EQ(hy.messages, 0);
+}
+
+// All seven suite codes at n in {4, 8, 16}: Hybrid and Auto bitwise-match
+// the event-driven oracle under analytic presets (where segments collapse)
+// and message presets (where the run demotes wholesale).
+TEST(HybridSim, SuiteCodesBitwise) {
+  std::int64_t collapsed_total = 0;
+  for (const std::string& bench : suite::benchmark_names()) {
+    for (int n : {4, 8, 16}) {
+      const auto translated = core::translate(measured(bench, n));
+      const CompiledTrace ct = CompiledTrace::compile(translated);
+      const std::vector<std::pair<std::string, model::SimParams>> params = {
+          {"shared/1cluster", single_cluster(model::shared_memory_preset())},
+          {"sgi", model::sgi_shared_preset()},
+          {"distributed", model::distributed_preset()},
+      };
+      for (const auto& [pname, p] : params) {
+        const SimResult ev = core::simulate_compiled(ct, p);
+        const SimResult hy = core::simulate_compiled(ct, p, {SimMode::Hybrid});
+        expect_bitwise_equal(
+            ev, hy, bench + "/n=" + std::to_string(n) + "/" + pname);
+        collapsed_total += hy.hybrid.segments_collapsed;
+      }
+    }
+  }
+  EXPECT_GT(collapsed_total, 0);
+}
+
+// Mixed path: contended owners (cross-cluster control/ghost traffic) demote
+// their epochs while the rest still collapse — and the mix stays bitwise.
+TEST(HybridSim, MixedPathContentionDemotesAndMatches) {
+  for (const std::string& bench : {std::string("grid"), std::string("sparse")}) {
+    const auto translated = core::translate(measured(bench, 8));
+    const CompiledTrace ct = CompiledTrace::compile(translated);
+    model::SimParams p = model::shared_memory_preset();
+    p.cluster.procs_per_cluster = 2;  // 4 clusters of 2 at n=8
+    const SimResult ev = core::simulate_compiled(ct, p);
+    const SimResult hy = core::simulate_compiled(ct, p, {SimMode::Hybrid});
+    expect_bitwise_equal(ev, hy, bench + "/2per-cluster");
+    EXPECT_GT(hy.hybrid.segments_demoted, 0) << bench;
+  }
+}
+
+// sp1 uses the Poll service policy; a single-cluster analytic-barrier
+// variant of it exercises the poll-boundary arithmetic in the closed form
+// ((scaled-1)/interval extra poll checks per interval).
+TEST(HybridSim, PollPolicyClosedFormMatches) {
+  const auto translated = core::translate(measured("grid", 8));
+  const CompiledTrace ct = CompiledTrace::compile(translated);
+  model::SimParams p = single_cluster(model::sp1_preset());
+  p.barrier.by_msgs = false;  // sp1 is a message-barrier preset by default
+  const SimResult ev = core::simulate_compiled(ct, p);
+  const SimResult hy = core::simulate_compiled(ct, p, {SimMode::Hybrid});
+  expect_bitwise_equal(ev, hy, "grid/sp1-analytic-barrier");
+  EXPECT_GT(hy.hybrid.segments_collapsed, 0);
+  std::int64_t polls = 0;
+  for (const auto& t : hy.threads) polls += t.polls;
+  EXPECT_GT(polls, 0);  // the formula actually ran
+}
+
+// Randomized-contention property test: random cluster shapes, MIPS ratios,
+// and presets over random suite codes.  Wherever Auto demotes segments the
+// divergence bound is exactly zero — Auto is conservative-exact, never
+// approximate — and across the sample both demotion and collapse must fire.
+TEST(HybridSim, RandomizedContentionPropertyAutoIsExact) {
+  std::mt19937 rng(0x5eed);
+  const std::vector<std::string> benches = {"grid", "cyclic", "sparse",
+                                            "embar"};
+  const std::vector<int> clusters = {1, 2, 4, 1 << 20};
+  const std::vector<double> mips = {0.41, 1.0, 1.136, 2.0};
+  std::int64_t demoted_total = 0, collapsed_total = 0;
+  for (int iter = 0; iter < 24; ++iter) {
+    const std::string bench = benches[rng() % benches.size()];
+    const int n = (rng() % 2) ? 4 : 8;
+    auto presets = analytic_presets();
+    model::SimParams p = presets[rng() % presets.size()].second;
+    p.cluster.procs_per_cluster = clusters[rng() % clusters.size()];
+    p.proc.mips_ratio = mips[rng() % mips.size()];
+    const auto translated = core::translate(measured(bench, n));
+    const CompiledTrace ct = CompiledTrace::compile(translated);
+    const SimResult ev = core::simulate_compiled(ct, p);
+    const SimResult au = core::simulate_compiled(ct, p, {SimMode::Auto});
+    expect_bitwise_equal(ev, au,
+                         "iter" + std::to_string(iter) + "/" + bench + "/n=" +
+                             std::to_string(n) + "/ppc=" +
+                             std::to_string(p.cluster.procs_per_cluster));
+    demoted_total += au.hybrid.segments_demoted;
+    collapsed_total += au.hybrid.segments_collapsed;
+  }
+  EXPECT_GT(demoted_total, 0);    // contention demotion fired somewhere
+  EXPECT_GT(collapsed_total, 0);  // and the fast path engaged somewhere
+}
+
+// emit_trace=false is a pure memory/time saving: identical numerics, empty
+// extrapolated stream.  Both the event and analytic paths honor it (the
+// presum shortcut is only legal without emission, so this covers it too).
+TEST(HybridSim, EmitTraceOffKeepsNumerics) {
+  const auto translated = core::translate(measured("cyclic", 8));
+  const CompiledTrace ct = CompiledTrace::compile(translated);
+  for (const SimMode mode : {SimMode::EventDriven, SimMode::Hybrid}) {
+    SimOptions with{mode, true};
+    SimOptions without{mode, false};
+    const SimResult a = core::simulate_compiled(ct, single_cluster(
+        model::ideal_preset()), with);
+    const SimResult b = core::simulate_compiled(ct, single_cluster(
+        model::ideal_preset()), without);
+    EXPECT_EQ(a.makespan.count_ns(), b.makespan.count_ns());
+    EXPECT_EQ(a.messages, b.messages);
+    ASSERT_EQ(a.threads.size(), b.threads.size());
+    for (std::size_t t = 0; t < a.threads.size(); ++t) {
+      EXPECT_EQ(a.threads[t].finish.count_ns(),
+                b.threads[t].finish.count_ns());
+      EXPECT_EQ(a.threads[t].compute.count_ns(),
+                b.threads[t].compute.count_ns());
+    }
+    EXPECT_GT(a.extrapolated.events().size(), 0u);
+    EXPECT_EQ(b.extrapolated.events().size(), 0u);
+  }
+}
+
+// Multithreading extension (n_procs < n_threads) shares CPUs between
+// threads, which the classifier must refuse: everything demotes, results
+// still match the oracle.
+TEST(HybridSim, SharedProcessorsDemoteWholesale) {
+  const auto translated = core::translate(measured("grid", 8));
+  const CompiledTrace ct = CompiledTrace::compile(translated);
+  model::SimParams p = single_cluster(model::shared_memory_preset());
+  p.proc.n_procs = 4;  // 2 threads per processor
+  const SimResult ev = core::simulate_compiled(ct, p);
+  const SimResult hy = core::simulate_compiled(ct, p, {SimMode::Hybrid});
+  expect_bitwise_equal(ev, hy, "grid/n_procs=4");
+  EXPECT_EQ(hy.hybrid.path, HybridStats::Path::Event);
+  EXPECT_EQ(hy.hybrid.segments_collapsed, 0);
+  EXPECT_EQ(hy.hybrid.segments_demoted, hy.hybrid.segments_total);
+}

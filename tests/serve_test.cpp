@@ -119,6 +119,70 @@ TEST(ServeProtocol, QueryAndResultRoundTrip) {
   }
 }
 
+TEST(ServeProtocol, QueryModeWireForms) {
+  Query q = distributed_query(8, 2.5);
+  q.mode = QueryMode::Hybrid;
+
+  // The flagged form carries the mode byte and round-trips it.
+  WireWriter w;
+  encode_query(w, q, /*with_mode=*/true);
+  {
+    WireReader r(w.data());
+    EXPECT_EQ(decode_query(r, /*with_mode=*/true), q);
+    EXPECT_NO_THROW(r.expect_end());
+  }
+
+  // The flagless (pre-mode) form neither writes nor reads the byte: the
+  // decoded query falls back to Auto.
+  WireWriter w2;
+  encode_query(w2, q);
+  {
+    WireReader r(w2.data());
+    Query out = decode_query(r);
+    EXPECT_NO_THROW(r.expect_end());
+    EXPECT_EQ(out.mode, QueryMode::Auto);
+    out.mode = q.mode;
+    EXPECT_EQ(out, q);
+  }
+
+  // Mode bytes outside the enum are rejected at decode.
+  WireWriter w3;
+  encode_query(w3, q);
+  w3.u8(7);
+  {
+    WireReader r(w3.data());
+    EXPECT_THROW(decode_query(r, /*with_mode=*/true), ProtocolError);
+  }
+}
+
+TEST(ServeProtocol, StatsDecodeToleratesPreModeReplies) {
+  ServerStats s;
+  s.requests_total = 5;
+  s.queries_ok = 4;
+  s.simulate_cpu_s = 0.25;
+  s.queries_auto = 2;
+  s.queries_event = 1;
+  s.queries_hybrid = 1;
+  WireWriter w;
+  encode_stats(w, s);
+  {
+    WireReader r(w.data());
+    EXPECT_EQ(decode_stats(r), s);
+    EXPECT_NO_THROW(r.expect_end());
+  }
+
+  // A reply from a server that predates the per-mode counters is 24 bytes
+  // shorter; the decoder must zero-fill instead of throwing.
+  const std::string old_bytes = w.data().substr(0, w.data().size() - 3 * 8);
+  ServerStats expect_old = s;
+  expect_old.queries_auto = 0;
+  expect_old.queries_event = 0;
+  expect_old.queries_hybrid = 0;
+  WireReader r2(old_bytes);
+  EXPECT_EQ(decode_stats(r2), expect_old);
+  EXPECT_NO_THROW(r2.expect_end());
+}
+
 TEST(ServeProtocol, TruncatedBodyThrows) {
   Query q = distributed_query(4);
   WireWriter w;
@@ -221,6 +285,100 @@ TEST(ServeService, BatchedQueriesAreDeterministicAndInOrder) {
   EXPECT_FALSE(decode_query_result(r2).ok);
 }
 
+TEST(ServeService, QueryModesAgreeBitwiseAndAreCounted) {
+  Service svc;
+  const auto session = svc.open_trace_session(load_golden());
+
+  // Hybrid/Auto are conservative-exact: on both an analytic and a
+  // message-passing machine, every requested mode serves the same bytes.
+  for (const char* preset : {"preset = shared", "preset = distributed"}) {
+    Query q = distributed_query(4);
+    q.params_text = preset;
+    q.mode = QueryMode::EventDriven;
+    const QueryResult ev = svc.run_query(session, q);
+    ASSERT_TRUE(ev.ok) << ev.error;
+    q.mode = QueryMode::Hybrid;
+    const QueryResult hy = svc.run_query(session, q);
+    q.mode = QueryMode::Auto;
+    const QueryResult au = svc.run_query(session, q);
+    EXPECT_EQ(ev, hy) << preset;
+    EXPECT_EQ(ev, au) << preset;
+  }
+
+  const ServerStats st = svc.stats();
+  EXPECT_EQ(st.queries_event, 2u);
+  EXPECT_EQ(st.queries_hybrid, 2u);
+  EXPECT_EQ(st.queries_auto, 2u);
+  EXPECT_EQ(st.queries_ok, 6u);
+}
+
+TEST(ServeService, ModeFlaggedBatchesDecodeNextToFlaglessOnes) {
+  Service svc;
+  const auto session = svc.open_trace_session(load_golden());
+
+  // Versioned wire form: kBatchHasModes on the count, a mode byte per
+  // query.  All three modes must come back ok and bitwise-equal.
+  WireWriter w;
+  w.u64(session);
+  w.u32(3u | kBatchHasModes);
+  Query q = distributed_query(4);
+  q.mode = QueryMode::EventDriven;
+  encode_query(w, q, /*with_mode=*/true);
+  q.mode = QueryMode::Hybrid;
+  encode_query(w, q, /*with_mode=*/true);
+  q.mode = QueryMode::Auto;
+  encode_query(w, q, /*with_mode=*/true);
+  const std::string flagged = svc.handle(
+      encode_frame(MsgType::QueryBatch, false, 11, w.data()).substr(4));
+  const auto parsed = try_parse_frame(flagged);
+  ASSERT_TRUE(parsed.has_value());
+  WireReader r(parsed->first.body);
+  ASSERT_EQ(r.u8(), 0) << "flagged batch rejected";
+  ASSERT_EQ(r.u32(), 3u);
+  std::vector<QueryResult> results;
+  for (int i = 0; i < 3; ++i) results.push_back(decode_query_result(r));
+  r.expect_end();
+  for (const auto& res : results) ASSERT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+
+  // The flagless (pre-mode) form from an old client still parses and runs
+  // as Auto.
+  WireWriter w2;
+  w2.u64(session);
+  w2.u32(1);
+  encode_query(w2, distributed_query(4));
+  const std::string flagless = svc.handle(
+      encode_frame(MsgType::QueryBatch, false, 12, w2.data()).substr(4));
+  const auto parsed2 = try_parse_frame(flagless);
+  ASSERT_TRUE(parsed2.has_value());
+  WireReader r2(parsed2->first.body);
+  ASSERT_EQ(r2.u8(), 0) << "flagless batch rejected";
+  ASSERT_EQ(r2.u32(), 1u);
+  const QueryResult legacy = decode_query_result(r2);
+  ASSERT_TRUE(legacy.ok) << legacy.error;
+  EXPECT_EQ(legacy, results[0]);
+
+  const ServerStats st = svc.stats();
+  EXPECT_EQ(st.queries_event, 1u);
+  EXPECT_EQ(st.queries_hybrid, 1u);
+  EXPECT_EQ(st.queries_auto, 2u);  // explicit Auto + the flagless default
+
+  // A flagged batch with a mode byte outside the enum is a batch-wide
+  // protocol error, not a crash.
+  WireWriter w3;
+  w3.u64(session);
+  w3.u32(1u | kBatchHasModes);
+  encode_query(w3, distributed_query(4));
+  w3.u8(7);
+  const std::string bad = svc.handle(
+      encode_frame(MsgType::QueryBatch, false, 13, w3.data()).substr(4));
+  const auto parsed3 = try_parse_frame(bad);
+  ASSERT_TRUE(parsed3.has_value());
+  WireReader r3(parsed3->first.body);
+  EXPECT_NE(r3.u8(), 0) << "out-of-range mode byte was accepted";
+}
+
 TEST(ServeService, SharedSourceCachesAcrossSessions) {
   Service svc;
   const trace::Trace golden = load_golden();
@@ -315,6 +473,39 @@ TEST(ServeServer, ConcurrentClientsShareOneCache) {
   EXPECT_EQ(st.queries_ok,
             static_cast<std::uint64_t>(kClients * kBatches * 3));
 
+  server.stop();
+  server.join();
+}
+
+TEST(ServeServer, ModeRequestsRoundTripOverTheSocket) {
+  const std::string sock = unique_socket("mode");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  Server server(std::move(opt));
+  server.start();
+
+  Client client = Client::connect_unix(sock);
+  const auto session = client.load_trace(load_golden());
+
+  Query qe = distributed_query(4);
+  qe.mode = QueryMode::EventDriven;
+  Query qh = distributed_query(4);
+  qh.mode = QueryMode::Hybrid;
+  // Mixed batch: a non-default mode makes the client emit the flagged
+  // wire form for the whole batch.
+  const auto results =
+      client.query_batch(session, {qe, qh, distributed_query(4)});
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results) ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(results[0], results[2]);
+
+  const ServerStats st = client.stats();
+  EXPECT_EQ(st.queries_event, 1u);
+  EXPECT_EQ(st.queries_hybrid, 1u);
+  EXPECT_EQ(st.queries_auto, 1u);
+
+  client.close_session(session);
   server.stop();
   server.join();
 }
