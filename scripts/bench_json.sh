@@ -1,9 +1,9 @@
 #!/bin/sh
 # Perf-regression harness: run the engine micro-benchmarks (short
-# iterations) plus the sweep-scaling, serve-QPS and hybrid-simulation
-# harnesses and distill them into BENCH_sim.json at the repository root — one items/sec (or
-# seconds) entry per benchmark, stable keys, so two checkouts can be
-# diffed with `jq` or eyeballed in a PR.
+# iterations) plus the sweep-scaling, serve-QPS, hybrid-simulation and
+# pattern-fit harnesses and distill them into BENCH_sim.json at the
+# repository root — one items/sec (or seconds) entry per benchmark, stable
+# keys, so two checkouts can be diffed with `jq` or eyeballed in a PR.
 #
 # Usage: scripts/bench_json.sh [build-dir]   (default: build)
 #
@@ -20,7 +20,8 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-for bin in micro_engine abl_sweep_scaling abl_serve_qps abl_hybrid_scaling; do
+for bin in micro_engine abl_sweep_scaling abl_serve_qps abl_hybrid_scaling \
+           abl_pattern_fit; do
   [ -x "$BUILD/bench/$bin" ] || {
     echo "error: $BUILD/bench/$bin not built" >&2
     exit 1
@@ -31,7 +32,8 @@ raw_json=$(mktemp)
 sweep_log=$(mktemp)
 serve_log=$(mktemp)
 hybrid_log=$(mktemp)
-trap 'rm -f "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log"' EXIT
+pattern_log=$(mktemp)
+trap 'rm -f "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" "$pattern_log"' EXIT
 
 "$BUILD/bench/micro_engine" \
   --benchmark_min_time=0.2 \
@@ -50,13 +52,18 @@ trap 'rm -f "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log"' EXIT
 # target (bench/abl_hybrid_scaling).
 "$BUILD/bench/abl_hybrid_scaling" | tee "$hybrid_log" >&2
 
-python3 - "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" <<'PY'
+# Composed per-pattern models vs flat Amdahl on held-out thread counts;
+# also shape-checks band coverage (bench/abl_pattern_fit).
+"$BUILD/bench/abl_pattern_fit" | tee "$pattern_log" >&2
+
+python3 - "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" \
+  "$pattern_log" <<'PY'
 import json
 import re
 import sys
 
-raw, sweep_log, serve_log, hybrid_log = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4])
+raw, sweep_log, serve_log, hybrid_log, pattern_log = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
 with open(raw) as f:
     data = json.load(f)
 
@@ -166,11 +173,31 @@ with open(serve_log) as f:
                 "p99_us": float(m.group(5)),
             }
 
+# Pattern-fit harness: "pattern_fit bench=... composed_err_pct=...
+# amdahl_err_pct=... band_hits=..." held-out accuracy rows
+# (bench/abl_pattern_fit).
+pattern = {}
+with open(pattern_log) as f:
+    for line in f:
+        m = re.match(
+            r"pattern_fit bench=(\w+) regions=(\d+)"
+            r" composed_err_pct=([0-9.]+) amdahl_err_pct=([0-9.]+)"
+            r" band_hits=(\d+) band_total=(\d+)", line)
+        if m:
+            pattern[f"pattern_fit_{m.group(1)}"] = {
+                "regions": int(m.group(2)),
+                "composed_err_pct": float(m.group(3)),
+                "amdahl_err_pct": float(m.group(4)),
+                "band_hits": int(m.group(5)),
+                "band_total": int(m.group(6)),
+            }
+
 out = {
-    "schema": "xp-bench-sim/4",
+    "schema": "xp-bench-sim/5",
     "hw_concurrency": hw,
     "source": ["bench/micro_engine", "bench/abl_sweep_scaling",
-               "bench/abl_serve_qps", "bench/abl_hybrid_scaling"],
+               "bench/abl_serve_qps", "bench/abl_hybrid_scaling",
+               "bench/abl_pattern_fit"],
     "note": "items_per_second is best-of-5 repetitions; "
             "see scripts/bench_json.sh for methodology",
     "benchmarks": dict(sorted(best.items())),
@@ -178,6 +205,7 @@ out = {
     "serve": serve,
     "hybrid": hybrid,
     "hybrid_speedup_vs_event": hybrid_speedups,
+    "pattern": pattern,
 }
 
 # Embed the committed pre-overhaul numbers (measured with the identical
@@ -206,7 +234,8 @@ with open("BENCH_sim.json", "w") as f:
     f.write("\n")
 print("wrote BENCH_sim.json "
       f"({len(best)} micro benchmarks, {len(sweep)} sweep rows, "
-      f"{len(serve)} serve rows, {len(hybrid)} hybrid rows)")
+      f"{len(serve)} serve rows, {len(hybrid)} hybrid rows, "
+      f"{len(pattern)} pattern rows)")
 
 # --- Regression gates -------------------------------------------------
 # Both gates always run (a fiber pass must not short-circuit the sweep
@@ -345,6 +374,29 @@ else:
         c = hybrid_speedups["cyclic_n1024"]
         print(f"hybrid gate: OK (grid {g:.1f}x, cyclic {c:.1f}x "
               "event-driven at n=1024)")
+
+# Gate 5: composed pattern-model accuracy.  A per-pattern PMNF sum fitted
+# on n <= 8 must extrapolate the held-out counts {12, 16} at least as well
+# as the flat Amdahl baseline on >= 2 of the 3 pattern benchmarks — the
+# compositional model's reason to exist.  Held-out error is a within-run
+# comparison against the same sweep's direct simulation, so host-speed
+# drift cannot mask a regression.
+if len(pattern) < 3:
+    print("pattern gate: FAIL — pattern_fit rows missing from "
+          "abl_pattern_fit output (format drift?)", file=sys.stderr)
+    failed = True
+else:
+    pat_wins = sum(1 for row in pattern.values()
+                   if row["composed_err_pct"] <= row["amdahl_err_pct"])
+    if pat_wins < 2:
+        print(f"pattern gate: FAIL — composed model beats flat Amdahl on "
+              f"only {pat_wins}/{len(pattern)} pattern benches (need >= 2; "
+              "set XP_BENCH_NO_GATE=1 to override)", file=sys.stderr)
+        failed = True
+    else:
+        worst = max(row["composed_err_pct"] for row in pattern.values())
+        print(f"pattern gate: OK (composed wins {pat_wins}/{len(pattern)}, "
+              f"worst held-out error {worst:.1f}%)")
 
 sys.exit(1 if failed else 0)
 PY

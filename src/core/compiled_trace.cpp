@@ -43,6 +43,11 @@ CompiledTrace CompiledTrace::compile(
           break;
         case EventKind::PhaseBegin:
         case EventKind::PhaseEnd:
+        // Pattern-region delimiters are zero-cost markers exactly like user
+        // phases: replay re-emits them at the simulated clock so region
+        // spans can be extracted from the extrapolated trace.
+        case EventKind::PatternBegin:
+        case EventKind::PatternEnd:
           out.ops.push_back(OpKind::Phase);
           break;
         case EventKind::ThreadEnd:

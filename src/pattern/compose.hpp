@@ -1,0 +1,129 @@
+// Per-pattern cost models, composed bottom-up (xp::pattern).
+//
+// A pattern program's extrapolated trace carries PatternBegin/PatternEnd
+// delimiters for every node of its tree, re-timestamped by the simulator.
+// This module turns a sweep of such traces into a compositional model:
+//
+//   extract_regions  one trace -> the region tree with per-region spans
+//                    (begin = earliest Begin over threads, end = latest
+//                    End) and SELF times (span minus direct child spans);
+//   compose          per-region PMNF fit of self time vs n (xp::fit,
+//                    shared seed/bootstrap so the result is bitwise
+//                    deterministic), plus a residual fit of the time
+//                    outside every pattern region.  The whole-program
+//                    prediction is the SUM of the parts:
+//
+//        t(n) = sum_r self_r(n) + residual(n)
+//
+// which by construction telescopes back to the measured totals on the
+// fitted counts, while each addend stays attributable to one pattern
+// node — the per-pattern models ARE the diagnosis, and the composed curve
+// is held against direct simulation on held-out counts
+// (bench/abl_pattern_fit.cpp, tests/pattern_test.cpp).
+//
+// Confidence bands compose the same way: replica b of the composed curve
+// sums replica b of every per-region bootstrap, so band width reflects
+// correlated per-region uncertainty instead of naive quadrature.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "fit/fit.hpp"
+#include "pattern/pattern.hpp"
+#include "trace/trace.hpp"
+#include "util/time.hpp"
+
+namespace xp::pattern {
+
+using util::Time;
+
+/// One pattern region of a trace: identity, tree position, and timing.
+struct RegionSpan {
+  std::int64_t region = 0;  ///< region id (Event::object)
+  Kind kind = Kind::Sequence;
+  std::int32_t detail = 0;   ///< structural size from PatternBegin
+  std::int64_t parent = 0;   ///< enclosing region id; 0 = top level
+  std::vector<std::int64_t> children;  ///< direct children, ascending id
+
+  Time begin;  ///< earliest PatternBegin over threads
+  Time end;    ///< latest PatternEnd over threads
+  Time span;   ///< end - begin
+  Time self;   ///< span - sum(direct child spans), clamped >= 0
+};
+
+/// Extract the region tree of a (measured or extrapolated) trace, in
+/// region-id order (= pre-order of the pattern tree).  Throws util::Error
+/// if the pattern events are structurally inconsistent (mismatched nesting
+/// across threads, duplicate regions, unmatched delimiters) and returns
+/// an empty vector for traces without pattern events.
+std::vector<RegionSpan> extract_regions(const trace::Trace& t);
+
+/// A sweep's pattern data, gathered for composition and export.
+struct Experiment {
+  std::string name;
+  std::vector<int> procs;                   ///< ascending thread counts
+  std::vector<std::vector<RegionSpan>> spans;  ///< per proc, id order
+  std::vector<Time> totals;                 ///< predicted total per proc
+  std::map<std::int64_t, std::string> labels;  ///< region id -> "kind:label"
+};
+
+/// Gather an Experiment from sweep predictions (extract_regions on each
+/// cell's extrapolated trace; the sweep must have produced them, which is
+/// the SimOptions::emit_trace default).  Grid thread counts must be
+/// distinct — split multi-machine sweeps by label first.  `labels` may
+/// come from region_labels(); missing entries render as "kind#id".
+Experiment collect(const core::SweepResult& sweep, std::string name = {},
+                   std::map<std::int64_t, std::string> labels = {});
+
+struct ComposeOptions {
+  fit::FitOptions fit;  ///< shared by every per-region + residual fit
+  /// Explicit candidate-term pool (fit::fit_curve_terms); empty uses
+  /// fit.grid.  Exposed so the determinism tests can shuffle it.
+  std::vector<fit::Term> candidates;
+};
+
+/// One node of the composed model.
+struct RegionModel {
+  std::int64_t region = 0;
+  Kind kind = Kind::Sequence;
+  std::int32_t detail = 0;
+  std::int64_t parent = 0;
+  int depth = 0;  ///< nesting depth (top level = 0)
+  std::string label;
+  fit::FitResult self_fit;  ///< self time in us vs n
+};
+
+/// The composed whole-program model: per-region self-time fits plus the
+/// residual outside every region.
+struct ComposedModel {
+  std::vector<int> procs;
+  std::vector<RegionModel> regions;  ///< region-id (pre)order
+  fit::FitResult residual_fit;
+
+  /// Composed prediction at n processors, in microseconds.
+  double eval(double n) const;
+  /// Composed confidence band: percentiles over summed per-replica
+  /// bootstrap evaluations (replica b sums every fit's replica b).
+  fit::FitResult::Band band(double n) const;
+  /// Human-readable report: the tree with each node's fitted model.
+  std::string str() const;
+};
+
+/// Fit the composed model from explicit per-proc region spans + totals —
+/// the low-level hook (tests inject synthetic per-pattern costs here).
+/// Region structure must be identical across procs.
+ComposedModel compose_regions(const std::vector<int>& procs,
+                              const std::vector<std::vector<RegionSpan>>& spans,
+                              const std::vector<Time>& totals,
+                              const ComposeOptions& opt = {},
+                              const std::map<std::int64_t, std::string>&
+                                  labels = {});
+
+/// Fit the composed model of a gathered experiment.
+ComposedModel compose(const Experiment& e, const ComposeOptions& opt = {});
+
+}  // namespace xp::pattern

@@ -1,0 +1,362 @@
+#include "pattern/pattern.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "rt/collection.hpp"
+#include "util/error.hpp"
+
+namespace xp::pattern {
+
+namespace {
+
+/// splitmix64 finalizer: deterministic task costs / map values that are
+/// exact small integers in double, so every verify() comparison is
+/// bit-for-bit regardless of combine order.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// --- Pipeline ------------------------------------------------------------
+
+class PipelineNode final : public Node {
+ public:
+  PipelineNode(std::string label, PipelineSpec spec)
+      : Node(std::move(label)), spec_(spec) {
+    XP_REQUIRE(spec_.stages >= 1 && spec_.stages <= 24,
+               "pipeline stages must be in [1, 24] (values stay exact)");
+    XP_REQUIRE(spec_.items >= 1, "pipeline needs at least one item");
+    XP_REQUIRE(spec_.flops_per_item >= 0, "negative pipeline flops");
+  }
+
+  Kind kind() const override { return Kind::Pipeline; }
+  std::int32_t detail() const override { return spec_.stages; }
+
+  void setup(rt::Runtime& rt) override {
+    const int n = rt.n_threads();
+    // Stage s is owned by thread s mod n (Cyclic); parity double-buffer so
+    // step t's writes never race step t's reads of step t-1's values.
+    for (auto& s : slots_)
+      s = std::make_unique<rt::Collection<double>>(
+          rt, rt::Distribution::d1(rt::Dist::Cyclic, spec_.stages, n));
+    out_ = std::make_unique<rt::Collection<double>>(
+        rt, rt::Distribution::d1(rt::Dist::Block, spec_.items, n));
+  }
+
+  void verify() const override {
+    for (std::int64_t i = 0; i < spec_.items; ++i) {
+      double v = seed_value(i);
+      for (int s = 0; s < spec_.stages; ++s) v = stage_fn(s, v);
+      XP_REQUIRE(out_->init(i) == v,
+                 "pipeline: item " + std::to_string(i) +
+                     " does not match the sequential reference");
+    }
+  }
+
+ protected:
+  void body(rt::Runtime& rt) override {
+    const int t = rt.thread_id();
+    const int n = rt.n_threads();
+    const int S = spec_.stages;
+    const std::int64_t B = spec_.items;
+    // Software-pipeline schedule: step `step` runs stage s on item step-s.
+    for (std::int64_t step = 0; step < S + B - 1; ++step) {
+      for (int s = t; s < S; s += n) {
+        const std::int64_t i = step - s;
+        if (i < 0 || i >= B) continue;
+        double v = s == 0 ? seed_value(i)
+                          : slots_[(step + 1) & 1]->get(s - 1, 8);
+        v = stage_fn(s, v);
+        rt.compute_flops(spec_.flops_per_item);
+        slots_[step & 1]->local(s) = v;
+        if (s == S - 1) out_->put(i, v, 8);
+      }
+      rt.barrier();
+    }
+  }
+
+ private:
+  static double seed_value(std::int64_t i) {
+    return static_cast<double>(mix64(static_cast<std::uint64_t>(i)) & 0x3FF);
+  }
+  // Exact in double: seed <= 2^10 doubles per stage, <= 2^35 after 24.
+  static double stage_fn(int s, double v) { return 2.0 * v + (s + 1); }
+
+  PipelineSpec spec_;
+  std::array<std::unique_ptr<rt::Collection<double>>, 2> slots_;
+  std::unique_ptr<rt::Collection<double>> out_;
+};
+
+// --- MapReduce -----------------------------------------------------------
+
+using Hist = std::array<double, MapReduceSpec::kMaxBins>;
+
+class MapReduceNode final : public Node {
+ public:
+  MapReduceNode(std::string label, MapReduceSpec spec)
+      : Node(std::move(label)), spec_(spec) {
+    XP_REQUIRE(spec_.items >= 1, "mapreduce needs at least one item");
+    XP_REQUIRE(spec_.bins >= 1 && spec_.bins <= MapReduceSpec::kMaxBins,
+               "mapreduce bins out of range");
+    XP_REQUIRE(spec_.flops_per_item >= 0, "negative mapreduce flops");
+  }
+
+  Kind kind() const override { return Kind::MapReduce; }
+  std::int32_t detail() const override {
+    return static_cast<std::int32_t>(
+        std::min<std::int64_t>(spec_.items, INT32_MAX));
+  }
+
+  void setup(rt::Runtime& rt) override {
+    n_ = rt.n_threads();
+    partials_ = std::make_unique<rt::Collection<Hist>>(
+        rt, rt::Distribution::d1(rt::Dist::Block, n_, n_));
+  }
+
+  void verify() const override {
+    Hist expect{};
+    for (std::int64_t i = 0; i < spec_.items; ++i) tally(i, expect);
+    XP_REQUIRE(partials_->init(0) == expect,
+               "mapreduce: histogram does not match sequential reference");
+  }
+
+ protected:
+  void body(rt::Runtime& rt) override {
+    const int t = rt.thread_id();
+    const std::int64_t M = spec_.items;
+    const std::int64_t per = (M + n_ - 1) / n_;
+    const std::int64_t first = std::min<std::int64_t>(M, t * per);
+    const std::int64_t last = std::min<std::int64_t>(M, first + per);
+
+    Hist mine{};
+    for (std::int64_t i = first; i < last; ++i) tally(i, mine);
+    rt.compute_flops(spec_.flops_per_item * static_cast<double>(last - first));
+    partials_->local(t) = mine;
+
+    // Binary combining tree: level k merges partners at distance 2^k.
+    // The reader of a partial is never its writer at the same level, so
+    // the per-level barrier is the only ordering needed.
+    for (int stride = 1; stride < n_; stride *= 2) {
+      rt.barrier();
+      if (t % (2 * stride) == 0 && t + stride < n_) {
+        const Hist& other = partials_->get(t + stride, 8 * spec_.bins);
+        Hist& acc = partials_->local(t);
+        for (int b = 0; b < spec_.bins; ++b) acc[static_cast<std::size_t>(b)] +=
+            other[static_cast<std::size_t>(b)];
+        rt.compute_flops(static_cast<double>(spec_.bins));
+      }
+    }
+  }
+
+ private:
+  /// Exact integer weights: every item adds a value < 2^8 to one bin.
+  void tally(std::int64_t i, Hist& h) const {
+    const std::uint64_t x = mix64(static_cast<std::uint64_t>(i) ^ 0xA5A5ull);
+    h[static_cast<std::size_t>(x % static_cast<std::uint64_t>(spec_.bins))] +=
+        static_cast<double>((x >> 8) & 0xFF);
+  }
+
+  MapReduceSpec spec_;
+  int n_ = 0;
+  std::unique_ptr<rt::Collection<Hist>> partials_;
+};
+
+// --- TaskPool ------------------------------------------------------------
+
+class TaskPoolNode final : public Node {
+ public:
+  TaskPoolNode(std::string label, TaskPoolSpec spec)
+      : Node(std::move(label)), spec_(spec) {
+    XP_REQUIRE(spec_.tasks >= 1, "taskpool needs at least one task");
+    XP_REQUIRE(spec_.base_flops >= 1 && spec_.max_extra >= 0,
+               "taskpool costs must be positive");
+  }
+
+  Kind kind() const override { return Kind::TaskPool; }
+  std::int32_t detail() const override { return spec_.tasks; }
+
+  void setup(rt::Runtime& rt) override {
+    const int n = rt.n_threads();
+    input_ = std::make_unique<rt::Collection<double>>(
+        rt, rt::Distribution::d1(rt::Dist::Block, spec_.tasks, n));
+    out_ = std::make_unique<rt::Collection<double>>(
+        rt, rt::Distribution::d1(rt::Dist::Block, spec_.tasks, n));
+    for (int i = 0; i < spec_.tasks; ++i) input_->init(i) = input_value(i);
+    schedule_ = list_schedule(n);
+  }
+
+  void verify() const override {
+    for (int i = 0; i < spec_.tasks; ++i)
+      XP_REQUIRE(out_->init(i) == task_result(input_value(i), task_cost(i)),
+                 "taskpool: task " + std::to_string(i) +
+                     " does not match the sequential reference");
+  }
+
+ protected:
+  void body(rt::Runtime& rt) override {
+    const int t = rt.thread_id();
+    for (int i = 0; i < spec_.tasks; ++i) {
+      if (schedule_[static_cast<std::size_t>(i)] != t) continue;
+      const double x = input_->get(i, 8);
+      const double c = task_cost(i);
+      rt.compute_flops(c);
+      out_->put(i, task_result(x, c), 8);
+    }
+  }
+
+ private:
+  static double input_value(int i) {
+    return static_cast<double>(mix64(static_cast<std::uint64_t>(i) + 7) &
+                               0xFFF);
+  }
+  static double task_result(double x, double c) { return 3.0 * x + c; }
+
+  /// Declared cost of task i: an exact integer in [base, base + max_extra].
+  double task_cost(int i) const {
+    const auto extra = static_cast<std::uint64_t>(spec_.max_extra) + 1;
+    return spec_.base_flops +
+           static_cast<double>(
+               mix64(spec_.seed ^ static_cast<std::uint64_t>(i)) % extra);
+  }
+
+  /// Greedy list scheduling from the declared costs alone: tasks in index
+  /// order to the earliest-available thread, ties to the lowest id.  Pure
+  /// function of (spec, n), so every thread — and every simulated machine
+  /// size — derives the identical assignment with zero coordination.
+  std::vector<int> list_schedule(int n) const {
+    std::vector<double> load(static_cast<std::size_t>(n), 0.0);
+    std::vector<int> owner(static_cast<std::size_t>(spec_.tasks), 0);
+    for (int i = 0; i < spec_.tasks; ++i) {
+      int best = 0;
+      for (int t = 1; t < n; ++t)
+        if (load[static_cast<std::size_t>(t)] <
+            load[static_cast<std::size_t>(best)])
+          best = t;
+      owner[static_cast<std::size_t>(i)] = best;
+      load[static_cast<std::size_t>(best)] += task_cost(i);
+    }
+    return owner;
+  }
+
+  TaskPoolSpec spec_;
+  std::unique_ptr<rt::Collection<double>> input_;
+  std::unique_ptr<rt::Collection<double>> out_;
+  std::vector<int> schedule_;
+};
+
+// --- Sequence ------------------------------------------------------------
+
+class SequenceNode final : public Node {
+ public:
+  SequenceNode(std::string label, std::vector<std::unique_ptr<Node>> children)
+      : Node(std::move(label)), children_(std::move(children)) {
+    XP_REQUIRE(!children_.empty(), "sequence needs at least one child");
+    for (const auto& c : children_)
+      XP_REQUIRE(c != nullptr, "sequence child is null");
+  }
+
+  Kind kind() const override { return Kind::Sequence; }
+  std::int32_t detail() const override {
+    return static_cast<std::int32_t>(children_.size());
+  }
+  std::vector<const Node*> children() const override {
+    std::vector<const Node*> out;
+    for (const auto& c : children_) out.push_back(c.get());
+    return out;
+  }
+
+  void setup(rt::Runtime& rt) override {
+    for (auto& c : children_) c->setup(rt);
+  }
+  void verify() const override {
+    for (const auto& c : children_) c->verify();
+  }
+
+ protected:
+  void body(rt::Runtime& rt) override {
+    for (auto& c : children_) c->run(rt);
+  }
+  std::vector<Node*> mutable_children() override {
+    std::vector<Node*> out;
+    for (auto& c : children_) out.push_back(c.get());
+    return out;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Node>> children_;
+};
+
+}  // namespace
+
+const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::Pipeline: return "pipeline";
+    case Kind::MapReduce: return "mapreduce";
+    case Kind::TaskPool: return "taskpool";
+    case Kind::Sequence: return "seq";
+  }
+  return "?";
+}
+
+std::int64_t Node::assign_regions(std::int64_t next) {
+  XP_REQUIRE(next >= 1, "region ids start at 1");
+  region_ = next++;
+  for (Node* c : mutable_children()) next = c->assign_regions(next);
+  return next;
+}
+
+void Node::run(rt::Runtime& rt) {
+  XP_REQUIRE(region_ >= 1, "pattern node run before region assignment");
+  // Aligning barrier + Begin, closing barrier + End: the delimiters of all
+  // threads sit directly on barrier exits, which translation re-aligns, so
+  // a region's span is well defined on every thread count.
+  rt.barrier();
+  rt.pattern_begin(static_cast<std::int32_t>(kind()), region_, detail());
+  body(rt);
+  rt.barrier();
+  rt.pattern_end(static_cast<std::int32_t>(kind()), region_);
+}
+
+std::unique_ptr<Node> make_pipeline(std::string label, PipelineSpec spec) {
+  return std::make_unique<PipelineNode>(std::move(label), spec);
+}
+
+std::unique_ptr<Node> make_mapreduce(std::string label, MapReduceSpec spec) {
+  return std::make_unique<MapReduceNode>(std::move(label), spec);
+}
+
+std::unique_ptr<Node> make_taskpool(std::string label, TaskPoolSpec spec) {
+  return std::make_unique<TaskPoolNode>(std::move(label), spec);
+}
+
+std::unique_ptr<Node> make_sequence(
+    std::string label, std::vector<std::unique_ptr<Node>> children) {
+  return std::make_unique<SequenceNode>(std::move(label), std::move(children));
+}
+
+namespace {
+void collect_labels(const Node& node, std::map<std::int64_t, std::string>& out) {
+  out[node.region()] =
+      std::string(to_string(node.kind())) + ":" + node.label();
+  for (const Node* c : node.children()) collect_labels(*c, out);
+}
+}  // namespace
+
+std::map<std::int64_t, std::string> region_labels(const Node& root) {
+  std::map<std::int64_t, std::string> out;
+  collect_labels(root, out);
+  return out;
+}
+
+void PatternProgram::setup(rt::Runtime& rt) {
+  root_ = builder_();
+  XP_REQUIRE(root_ != nullptr, "pattern builder returned null");
+  root_->assign_regions(1);
+  root_->setup(rt);
+}
+
+}  // namespace xp::pattern

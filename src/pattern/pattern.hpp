@@ -1,0 +1,171 @@
+// Compositional parallel patterns (xp::pattern).
+//
+// The paper's programs are hand-written SPMD bodies; this module adds the
+// other common way parallel codes are built — composing reusable skeletons:
+//
+//   Pipeline  — S software-pipelined stages over B items, stages owned
+//               cyclically; double-buffered stage slots, one barrier per
+//               pipeline step (S + B - 1 steps).
+//   MapReduce — block-partitioned map over M items into per-thread
+//               histograms, combined by a binary reduction tree (one
+//               barrier per level, partner partials read remotely).
+//   TaskPool  — T independent tasks of heterogeneous declared cost,
+//               assigned by deterministic greedy list scheduling (every
+//               thread computes the identical schedule from the declared
+//               costs, so no runtime coordination is traced or modeled).
+//   Sequence  — runs child nodes in order; the nesting combinator.
+//
+// Nodes execute collectively on the rt fiber scheduler: every thread
+// enters Node::run(), which brackets the pattern body with an aligning
+// barrier + PatternBegin and a closing barrier + PatternEnd (trace/
+// event.hpp).  Those delimiters survive translation and simulation
+// unchanged (zero-cost markers, re-timestamped by replay), so the
+// extrapolated trace of a pattern program carries the per-region spans
+// that compose.hpp fits per-pattern cost models from.
+//
+// Region ids are assigned pre-order depth-first from 1 when a
+// PatternProgram builds its tree, so the same program structure gets the
+// same ids at every thread count — the invariant region extraction keys
+// on.  All numeric work uses exact-in-double integer values, so every
+// pattern verifies against a sequential reference bit-for-bit regardless
+// of execution interleaving or reduction-tree shape.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+namespace xp::pattern {
+
+/// Pattern kind as recorded in PatternBegin/PatternEnd events
+/// (Event::barrier_id).  Values are wire format — append only.
+enum class Kind : std::int32_t {
+  Pipeline = 0,
+  MapReduce = 1,
+  TaskPool = 2,
+  Sequence = 3,
+};
+
+const char* to_string(Kind k);
+
+/// One node of a pattern tree.  Concrete nodes own their collections;
+/// trees are built fresh per measurement (PatternProgram::setup).
+class Node {
+ public:
+  explicit Node(std::string label) : label_(std::move(label)) {}
+  virtual ~Node() = default;
+
+  virtual Kind kind() const = 0;
+  const std::string& label() const { return label_; }
+  /// Region id (>= 1 once assigned), stable across thread counts.
+  std::int64_t region() const { return region_; }
+  /// Structural size recorded on PatternBegin (stages / items / tasks /
+  /// children) — what the node's cost model is "per".
+  virtual std::int32_t detail() const = 0;
+  /// Child nodes (Sequence only, today).
+  virtual std::vector<const Node*> children() const { return {}; }
+
+  /// Pre-order depth-first id assignment starting at `next`; returns the
+  /// first unused id.  Called by PatternProgram before setup.
+  std::int64_t assign_regions(std::int64_t next);
+
+  /// Allocate collections (runs once, before the threads start).
+  virtual void setup(rt::Runtime& rt) = 0;
+
+  /// Collective execution: every thread calls run() together.  Brackets
+  /// body() with barrier + PatternBegin / barrier + PatternEnd, so the
+  /// delimiters of all threads sit directly on aligned barrier exits.
+  void run(rt::Runtime& rt);
+
+  /// Check results against a sequential reference; throw on mismatch.
+  virtual void verify() const = 0;
+
+ protected:
+  /// The SPMD pattern body; may barrier internally and run child nodes.
+  virtual void body(rt::Runtime& rt) = 0;
+  virtual std::vector<Node*> mutable_children() { return {}; }
+
+ private:
+  std::string label_;
+  std::int64_t region_ = 0;
+};
+
+/// Pipeline: `stages` software-pipelined stages applied to `items` data
+/// items.  Stage s is owned by thread s mod n; step t runs stage s on item
+/// t - s, reading the previous stage's slot (remote when the owners
+/// differ) from a parity double-buffer.  The last stage writes the item's
+/// result into a block-distributed output collection.
+struct PipelineSpec {
+  int stages = 8;
+  std::int64_t items = 64;
+  double flops_per_item = 400.0;  ///< per stage visit
+};
+std::unique_ptr<Node> make_pipeline(std::string label, PipelineSpec spec);
+
+/// MapReduce: every thread maps its block of `items` into a `bins`-wide
+/// histogram (exact integer weights), then a binary tree combines the
+/// per-thread histograms — one barrier per level, partner partials read
+/// remotely at 8 * bins actual bytes.  bins == 1 degenerates to a plain
+/// sum reduction.
+struct MapReduceSpec {
+  std::int64_t items = 1 << 14;
+  int bins = 8;                  ///< 1 .. kMaxBins
+  double flops_per_item = 12.0;  ///< map cost per item
+  static constexpr int kMaxBins = 16;
+};
+std::unique_ptr<Node> make_mapreduce(std::string label, MapReduceSpec spec);
+
+/// TaskPool: `tasks` independent tasks with heterogeneous declared costs
+/// (deterministic from `seed`).  Every thread computes the same greedy
+/// list schedule — tasks in index order to the earliest-available thread,
+/// ties to the lowest id — then executes its share: read the task's input
+/// element (block-distributed, so usually remote), charge the declared
+/// flops, write the result back.
+struct TaskPoolSpec {
+  int tasks = 96;
+  double base_flops = 200.0;  ///< smallest task cost
+  double max_extra = 800.0;   ///< heterogeneity range above base
+  std::uint64_t seed = 1;
+};
+std::unique_ptr<Node> make_taskpool(std::string label, TaskPoolSpec spec);
+
+/// Sequence: run `children` in order (the nesting combinator).
+std::unique_ptr<Node> make_sequence(std::string label,
+                                    std::vector<std::unique_ptr<Node>> children);
+
+/// Map region id -> "kind:label" for the whole tree under `root`
+/// (requires assigned region ids).  Used to label composed models and
+/// experiment-file callpaths.
+std::map<std::int64_t, std::string> region_labels(const Node& root);
+
+/// An rt::Program that measures a pattern tree.  The builder runs once
+/// per setup() so repeated measurements (sweeps measure per thread count)
+/// each get a fresh tree; region ids are assigned before collections are
+/// allocated.
+class PatternProgram final : public rt::Program {
+ public:
+  using Builder = std::function<std::unique_ptr<Node>()>;
+
+  PatternProgram(std::string name, Builder builder)
+      : name_(std::move(name)), builder_(std::move(builder)) {}
+
+  std::string name() const override { return name_; }
+  void setup(rt::Runtime& rt) override;
+  void thread_main(rt::Runtime& rt) override { root_->run(rt); }
+  void verify() override { root_->verify(); }
+
+  /// The current tree (valid after setup; null before the first run).
+  const Node* root() const { return root_.get(); }
+
+ private:
+  std::string name_;
+  Builder builder_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace xp::pattern

@@ -106,6 +106,15 @@ class MeasureRuntime final : public Runtime {
   void phase_begin(std::int64_t id) override { record_phase(id, true); }
   void phase_end(std::int64_t id) override { record_phase(id, false); }
 
+  void pattern_begin(std::int32_t pattern_kind, std::int64_t region,
+                     std::int32_t detail) override {
+    record_pattern(trace::EventKind::PatternBegin, pattern_kind, region,
+                   detail);
+  }
+  void pattern_end(std::int32_t pattern_kind, std::int64_t region) override {
+    record_pattern(trace::EventKind::PatternEnd, pattern_kind, region, 0);
+  }
+
   void on_remote_read(int owner, std::int64_t object,
                       std::int32_t declared_bytes,
                       std::int32_t actual_bytes) override {
@@ -149,6 +158,21 @@ class MeasureRuntime final : public Runtime {
     e.thread = thread_id();
     e.kind = begin ? trace::EventKind::PhaseBegin : trace::EventKind::PhaseEnd;
     e.object = id;
+    tracer_.record(&clock_, e);
+  }
+
+  void record_pattern(trace::EventKind k, std::int32_t pattern_kind,
+                      std::int64_t region, std::int32_t detail) {
+    sync_host_clock();
+    XP_REQUIRE(region >= 1, "pattern region id must be >= 1");
+    XP_REQUIRE(pattern_kind >= 0, "pattern kind must be >= 0");
+    XP_REQUIRE(detail >= 0, "pattern detail must be >= 0");
+    trace::Event e;
+    e.thread = thread_id();
+    e.kind = k;
+    e.barrier_id = pattern_kind;
+    e.object = region;
+    e.declared_bytes = detail;
     tracer_.record(&clock_, e);
   }
 

@@ -51,6 +51,21 @@ class Runtime {
   virtual void phase_begin(std::int64_t id) = 0;
   virtual void phase_end(std::int64_t id) = 0;
 
+  /// Pattern-region delimiters (xp::pattern).  `pattern_kind` is the
+  /// node's pattern::Kind on the wire, `region` its structural region id
+  /// (>= 1), `detail` the node's structural size (stages/items/tasks).
+  /// Zero-cost markers: the measurement runtime records them as
+  /// PatternBegin/PatternEnd trace events; other runtimes may ignore them
+  /// (the default implementations are no-ops so direct-execution
+  /// environments stay pattern-oblivious).
+  virtual void pattern_begin(std::int32_t pattern_kind, std::int64_t region,
+                             std::int32_t detail) {
+    (void)pattern_kind, (void)region, (void)detail;
+  }
+  virtual void pattern_end(std::int32_t pattern_kind, std::int64_t region) {
+    (void)pattern_kind, (void)region;
+  }
+
   /// Access hooks invoked by Collection<T>.  The data transfer itself is a
   /// direct global-space copy in every implementation; these hooks account
   /// for the interaction (tracing or cost simulation).

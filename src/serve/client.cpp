@@ -198,6 +198,19 @@ Client::Ticket Client::submit_batch(std::uint64_t session,
   return send_request(MsgType::QueryBatch, w.data());
 }
 
+PatternModelResult Client::pattern_model(std::uint64_t session,
+                                         const PatternQuery& q) {
+  WireWriter w;
+  w.u64(session);
+  encode_pattern_query(w, q);
+  const std::string body = wait_ok(send_request(MsgType::PatternModel,
+                                                w.data()));
+  WireReader r(body);
+  PatternModelResult res = decode_pattern_result(r);
+  r.expect_end();
+  return res;
+}
+
 std::vector<QueryResult> Client::wait_batch(Ticket t) {
   const std::string body = wait_ok(t);
   WireReader r(body);

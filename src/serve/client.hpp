@@ -61,6 +61,12 @@ class Client {
   Ticket submit_batch(std::uint64_t session, const std::vector<Query>& queries);
   /// Collect a pipelined batch's results (in query order).
   std::vector<QueryResult> wait_batch(Ticket t);
+  /// Composed per-pattern cost model for a bench session (PATTERN_MODEL).
+  /// Computation failures come back in the result's ok/error fields;
+  /// protocol-level failures (old server rejecting the verb) throw
+  /// ServeError.
+  PatternModelResult pattern_model(std::uint64_t session,
+                                   const PatternQuery& q);
 
   // Admin ---------------------------------------------------------------
   ServerStats stats();

@@ -111,7 +111,7 @@ std::optional<std::pair<Frame, std::size_t>> try_parse_frame(
   f.is_reply = (t & kReplyBit) != 0;
   const std::uint8_t raw_type = t & static_cast<std::uint8_t>(~kReplyBit);
   if (raw_type < static_cast<std::uint8_t>(MsgType::LoadTrace) ||
-      raw_type > static_cast<std::uint8_t>(MsgType::Shutdown))
+      raw_type > static_cast<std::uint8_t>(MsgType::PatternModel))
     throw ProtocolError("unknown message type " + std::to_string(raw_type));
   f.type = static_cast<MsgType>(raw_type);
   f.request_id = r.u64();
@@ -182,6 +182,102 @@ QueryResult decode_query_result(WireReader& r) {
   res.compute_ns = r.i64();
   res.comm_wait_ns = r.i64();
   res.barrier_wait_ns = r.i64();
+  return res;
+}
+
+namespace {
+/// Per-request caps on PATTERN_MODEL array counts (forged counts must not
+/// drive allocation; real requests use a handful of each).
+constexpr std::uint32_t kMaxPatternProcs = 1u << 10;
+constexpr std::uint32_t kMaxPatternEvals = 1u << 12;
+constexpr std::uint32_t kMaxPatternRegions = 1u << 16;
+}  // namespace
+
+void encode_pattern_query(WireWriter& w, const PatternQuery& q) {
+  w.u32(static_cast<std::uint32_t>(q.procs.size()));
+  for (std::int32_t p : q.procs) w.i32(p);
+  w.f64(q.mips_ratio);
+  w.str(q.params_text);
+  w.u32(static_cast<std::uint32_t>(q.eval_at.size()));
+  for (double n : q.eval_at) w.f64(n);
+}
+
+PatternQuery decode_pattern_query(WireReader& r) {
+  PatternQuery q;
+  const std::uint32_t n_procs = r.u32();
+  if (n_procs > kMaxPatternProcs)
+    throw ProtocolError("implausible pattern-query proc count");
+  q.procs.reserve(n_procs);
+  for (std::uint32_t i = 0; i < n_procs; ++i) q.procs.push_back(r.i32());
+  q.mips_ratio = r.f64();
+  q.params_text = r.str();
+  const std::uint32_t n_eval = r.u32();
+  if (n_eval > kMaxPatternEvals)
+    throw ProtocolError("implausible pattern-query eval count");
+  q.eval_at.reserve(n_eval);
+  for (std::uint32_t i = 0; i < n_eval; ++i) q.eval_at.push_back(r.f64());
+  return q;
+}
+
+void encode_pattern_result(WireWriter& w, const PatternModelResult& res) {
+  w.u8(res.ok ? 1 : 0);
+  if (!res.ok) {
+    w.str(res.error);
+    return;
+  }
+  w.u32(static_cast<std::uint32_t>(res.regions.size()));
+  for (const PatternRegionWire& reg : res.regions) {
+    w.i64(reg.region);
+    w.i32(reg.kind);
+    w.i32(reg.detail);
+    w.i64(reg.parent);
+    w.i32(reg.depth);
+    w.str(reg.label);
+    w.str(reg.model);
+  }
+  w.str(res.residual_model);
+  w.u32(static_cast<std::uint32_t>(res.eval_at.size()));
+  for (std::size_t i = 0; i < res.eval_at.size(); ++i) {
+    w.f64(res.eval_at[i]);
+    w.f64(res.value[i]);
+    w.f64(res.lo[i]);
+    w.f64(res.hi[i]);
+  }
+}
+
+PatternModelResult decode_pattern_result(WireReader& r) {
+  PatternModelResult res;
+  res.ok = r.u8() != 0;
+  if (!res.ok) {
+    res.error = r.str();
+    return res;
+  }
+  const std::uint32_t n_regions = r.u32();
+  if (n_regions > kMaxPatternRegions)
+    throw ProtocolError("implausible pattern-model region count");
+  res.regions.reserve(n_regions);
+  for (std::uint32_t i = 0; i < n_regions; ++i) {
+    PatternRegionWire reg;
+    reg.region = r.i64();
+    reg.kind = r.i32();
+    reg.detail = r.i32();
+    reg.parent = r.i64();
+    reg.depth = r.i32();
+    reg.label = r.str();
+    reg.model = r.str();
+    res.regions.push_back(std::move(reg));
+  }
+  res.residual_model = r.str();
+  const std::uint32_t n_eval = r.u32();
+  if (n_eval > kMaxPatternEvals)
+    throw ProtocolError("implausible pattern-model eval count");
+  res.eval_at.reserve(n_eval);
+  for (std::uint32_t i = 0; i < n_eval; ++i) {
+    res.eval_at.push_back(r.f64());
+    res.value.push_back(r.f64());
+    res.lo.push_back(r.f64());
+    res.hi.push_back(r.f64());
+  }
   return res;
 }
 

@@ -61,6 +61,12 @@ enum class MsgType : std::uint8_t {
   Stats = 4,         ///< body: empty
   CloseSession = 5,  ///< body: session
   Shutdown = 6,      ///< body: empty; server drains and exits
+  /// body: session + PatternQuery -> composed per-pattern cost model
+  /// (xp::pattern).  Versioning: a NEW verb is the whole gate — servers
+  /// that predate it reject the type byte with an error reply and every
+  /// pre-existing verb's wire form is untouched, so old clients and old
+  /// servers interoperate with pattern-aware peers unchanged.
+  PatternModel = 7,
 };
 
 /// Requested simulation mode for one query (core::SimMode on the wire).
@@ -105,6 +111,49 @@ struct QueryResult {
   std::int64_t barrier_wait_ns = 0;
 
   bool operator==(const QueryResult&) const = default;
+};
+
+/// PATTERN_MODEL request: fit composed per-pattern cost models for a
+/// bench session's program from a sweep over `procs` (ascending, distinct,
+/// >= 3 counts) on the machine described by `params_text` / `mips_ratio`
+/// (same convention as Query), then evaluate the composed prediction at
+/// each `eval_at` processor count.
+struct PatternQuery {
+  std::vector<std::int32_t> procs;
+  double mips_ratio = 0.0;  ///< <= 0: keep the value in params_text
+  std::string params_text;
+  std::vector<double> eval_at;
+
+  bool operator==(const PatternQuery&) const = default;
+};
+
+/// One fitted pattern region of a PATTERN_MODEL reply.
+struct PatternRegionWire {
+  std::int64_t region = 0;
+  std::int32_t kind = 0;    ///< pattern::Kind on the wire
+  std::int32_t detail = 0;  ///< structural size (stages/items/tasks)
+  std::int64_t parent = 0;  ///< 0 = top level
+  std::int32_t depth = 0;
+  std::string label;
+  std::string model;  ///< fitted self-time PMNF, fit::Model::str()
+
+  bool operator==(const PatternRegionWire&) const = default;
+};
+
+/// The served composed model.  Model strings and f64 evaluations come from
+/// the deterministic fitter, so a served result is bitwise-comparable to
+/// an in-process pattern::compose() over the same sweep.
+struct PatternModelResult {
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  std::vector<PatternRegionWire> regions;  ///< region-id (pre)order
+  std::string residual_model;
+  std::vector<double> eval_at;  ///< echoed from the request
+  std::vector<double> value;    ///< composed eval, us
+  std::vector<double> lo;       ///< composed confidence band, us
+  std::vector<double> hi;
+
+  bool operator==(const PatternModelResult&) const = default;
 };
 
 /// The `stats` verb's answer: service counters plus the translate-cache
@@ -224,6 +273,12 @@ QueryResult decode_query_result(WireReader& r);
 
 void encode_stats(WireWriter& w, const ServerStats& s);
 ServerStats decode_stats(WireReader& r);
+
+void encode_pattern_query(WireWriter& w, const PatternQuery& q);
+PatternQuery decode_pattern_query(WireReader& r);
+
+void encode_pattern_result(WireWriter& w, const PatternModelResult& res);
+PatternModelResult decode_pattern_result(WireReader& r);
 
 /// Ok/error reply helpers: both produce a complete reply BODY (status byte
 /// first); the caller wraps it in a frame with the echoed request id.

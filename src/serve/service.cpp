@@ -11,6 +11,7 @@
 
 #include "core/extrapolator.hpp"
 #include "model/params_io.hpp"
+#include "pattern/compose.hpp"
 #include "rt/runtime.hpp"
 #include "trace/trace_io.hpp"
 #include "util/error.hpp"
@@ -226,6 +227,117 @@ QueryResult Service::run_query(std::uint64_t session, const Query& q) {
   return res;
 }
 
+PatternModelResult Service::run_pattern_model_on(Source& src,
+                                                 const PatternQuery& q) {
+  PatternModelResult res;
+  try {
+    XP_REQUIRE(src.is_bench,
+               "pattern models need a bench session (the server measures "
+               "the program at every fit count; a trace session holds one "
+               "fixed measurement)");
+    XP_REQUIRE(q.procs.size() >= 3,
+               "pattern model needs >= 3 fit thread counts");
+    for (std::size_t i = 0; i < q.procs.size(); ++i) {
+      XP_REQUIRE(q.procs[i] >= 1, "pattern model thread counts must be >= 1");
+      XP_REQUIRE(i == 0 || q.procs[i] > q.procs[i - 1],
+                 "pattern model thread counts must be ascending and distinct");
+    }
+    model::SimParams params = q.params_text.empty()
+                                  ? model::SimParams{}
+                                  : model::parse_params_string(q.params_text);
+    if (q.mips_ratio > 0) params.proc.mips_ratio = q.mips_ratio;
+    params.validate(q.procs.back());
+
+    pattern::Experiment e;
+    e.name = src.bench;
+    try {
+      e.labels = suite::pattern_labels(src.bench, opt_.bench_config);
+    } catch (const util::Error&) {
+      // Not a pattern bench: leave labels empty; extraction below reports
+      // the real "no pattern regions" error after the first prediction.
+    }
+    for (const int n : q.procs) {
+      core::TranslateKey key;
+      key.n_threads = n;
+      key.topt = opt_.translate;
+
+      bool missed = false;
+      double measure_cpu = 0;
+      const double cpu0 = thread_cpu_seconds();
+      const auto prepared = src.cache->get_or_prepare(key, [&](int nt) {
+        missed = true;
+        const double m0 = thread_cpu_seconds();
+        auto prog = suite::make_by_name(src.bench, opt_.bench_config);
+        rt::MeasureOptions mo;
+        mo.n_threads = nt;
+        mo.host = opt_.host;
+        trace::Trace t = rt::measure(*prog, mo);
+        measure_cpu = thread_cpu_seconds() - m0;
+        return t;
+      });
+      const double prepared_cpu = thread_cpu_seconds();
+      if (missed) {
+        measure_cpu_s_.fetch_add(measure_cpu);
+        translate_cpu_s_.fetch_add((prepared_cpu - cpu0) - measure_cpu);
+      }
+
+      // Unlike plain queries this verb NEEDS the extrapolated trace: the
+      // composed model is extracted from its re-timestamped pattern
+      // delimiters.
+      core::SimOptions sopts;
+      sopts.mode = core::SimMode::Auto;
+      const core::Prediction pred = core::predict(*prepared, params, sopts);
+      simulate_cpu_s_.fetch_add(thread_cpu_seconds() - prepared_cpu);
+
+      e.procs.push_back(n);
+      e.spans.push_back(pattern::extract_regions(pred.sim.extrapolated));
+      e.totals.push_back(pred.predicted_time);
+    }
+
+    const pattern::ComposedModel cm = pattern::compose(e);
+    res.ok = true;
+    res.regions.reserve(cm.regions.size());
+    for (const pattern::RegionModel& rm : cm.regions) {
+      PatternRegionWire w;
+      w.region = rm.region;
+      w.kind = static_cast<std::int32_t>(rm.kind);
+      w.detail = rm.detail;
+      w.parent = rm.parent;
+      w.depth = rm.depth;
+      w.label = rm.label;
+      w.model = rm.self_fit.model.str();
+      res.regions.push_back(std::move(w));
+    }
+    res.residual_model = cm.residual_fit.model.str();
+    res.eval_at.reserve(q.eval_at.size());
+    for (const double n : q.eval_at) {
+      const auto band = cm.band(n);
+      res.eval_at.push_back(n);
+      res.value.push_back(cm.eval(n));
+      res.lo.push_back(band.lo);
+      res.hi.push_back(band.hi);
+    }
+  } catch (const std::exception& ex) {
+    res = PatternModelResult{};
+    res.error = ex.what();
+  }
+  return res;
+}
+
+PatternModelResult Service::run_pattern_model(std::uint64_t session,
+                                              const PatternQuery& q) {
+  const auto src = session_source(session);
+  if (!src) {
+    PatternModelResult res;
+    res.error = "unknown session " + std::to_string(session);
+    queries_err_.fetch_add(1);
+    return res;
+  }
+  PatternModelResult res = run_pattern_model_on(*src, q);
+  (res.ok ? queries_ok_ : queries_err_).fetch_add(1);
+  return res;
+}
+
 // --- protocol dispatch -----------------------------------------------------
 
 std::string Service::dispatch(const Frame& frame) {
@@ -278,9 +390,36 @@ std::string Service::dispatch(const Frame& frame) {
       return ok_reply_body();
     }
     case MsgType::QueryBatch:
-      break;  // handled by dispatch_batch
+    case MsgType::PatternModel:
+      break;  // handled by dispatch_batch / dispatch_pattern
   }
   throw ProtocolError("unexpected message type in dispatch");
+}
+
+void Service::dispatch_pattern(Frame frame, Completion done) {
+  WireReader r(frame.body);
+  const std::uint64_t session = r.u64();
+  const PatternQuery q = decode_pattern_query(r);
+  r.expect_end();
+
+  const auto src = session_source(session);
+  if (!src)
+    throw util::Error("unknown session " + std::to_string(session));
+
+  batches_.fetch_add(1);
+  queue_depth_.fetch_add(1);
+  // One pool task: a pattern model measures and simulates a whole sweep,
+  // so it must not stall the dispatcher thread like cheap inline verbs.
+  pool_->submit([this, src, q, request_id = frame.request_id,
+                 done = std::move(done)] {
+    PatternModelResult res = run_pattern_model_on(*src, q);
+    (res.ok ? queries_ok_ : queries_err_).fetch_add(1);
+    queue_depth_.fetch_sub(1);
+    WireWriter w;
+    encode_pattern_result(w, res);
+    done(encode_frame(MsgType::PatternModel, true, request_id,
+                      ok_reply_body(w.data())));
+  });
 }
 
 void Service::dispatch_batch(Frame frame, Completion done) {
@@ -359,7 +498,7 @@ void Service::handle_async(std::string payload, Completion done) {
     const std::uint8_t t = r.u8();
     if (t & kReplyBit) throw ProtocolError("request has the reply bit set");
     if (t < static_cast<std::uint8_t>(MsgType::LoadTrace) ||
-        t > static_cast<std::uint8_t>(MsgType::Shutdown))
+        t > static_cast<std::uint8_t>(MsgType::PatternModel))
       throw ProtocolError("unknown message type " + std::to_string(t));
     type = static_cast<MsgType>(t);
     request_id = r.u64();
@@ -373,6 +512,12 @@ void Service::handle_async(std::string payload, Completion done) {
       // below must still hold a live callback to deliver the error reply
       // (a moved-from one is a bad_function_call).
       dispatch_batch(std::move(frame), done);
+      return;
+    }
+    if (type == MsgType::PatternModel) {
+      // Same copy-the-completion rule as batches: decode errors fall to
+      // the catch below, which still needs a live callback.
+      dispatch_pattern(std::move(frame), done);
       return;
     }
     const std::string body = dispatch(frame);

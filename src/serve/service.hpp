@@ -83,6 +83,11 @@ class Service {
   /// Execute one query synchronously on the calling thread (errors are
   /// reported in the result, not thrown).
   QueryResult run_query(std::uint64_t session, const Query& q);
+  /// Fit a composed per-pattern model for a bench session synchronously on
+  /// the calling thread (errors are reported in the result, not thrown).
+  /// Served PATTERN_MODEL replies are bitwise-equal to this.
+  PatternModelResult run_pattern_model(std::uint64_t session,
+                                       const PatternQuery& q);
 
   ServerStats stats() const;
   /// Connection counters live in the socket layer; it reports them here so
@@ -102,9 +107,11 @@ class Service {
   std::uint64_t register_session(std::shared_ptr<Source> src);
   std::shared_ptr<Source> session_source(std::uint64_t id) const;
   QueryResult run_query_on(Source& src, const Query& q);
+  PatternModelResult run_pattern_model_on(Source& src, const PatternQuery& q);
 
   std::string dispatch(const Frame& frame);  ///< non-batch verbs, inline
   void dispatch_batch(Frame frame, Completion done);
+  void dispatch_pattern(Frame frame, Completion done);
 
   ServiceOptions opt_;
 

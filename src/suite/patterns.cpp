@@ -1,0 +1,109 @@
+// Pattern-composed suite workloads.
+//
+// Three programs assembled from xp::pattern nodes rather than hand-written
+// SPMD bodies, exercising the compositional cost models end to end:
+//
+//   pipestencil — Sequence[ mapreduce init, pipeline sweep, mapreduce
+//                 residual ]: the init/residual reductions scale ~1/n with
+//                 log-tree combines while the pipeline saturates at its
+//                 stage count — two different curve shapes one flat model
+//                 has to average away and the composed model keeps apart.
+//   mrhist      — a single histogram MapReduce leaf (bins-wide partials,
+//                 binary combining tree); the no-nesting case.
+//   taskgraph   — Sequence of one TaskPool per BFS level of a synthetic
+//                 task DAG, levels narrowing geometrically, heterogeneous
+//                 declared costs; load imbalance grows as levels narrow.
+//
+// Each node verifies against its own sequential reference (exact integer
+// arithmetic in double), so the programs plug into the differential sweep
+// tests unchanged.
+#include "suite/suite.hpp"
+
+#include <algorithm>
+
+#include "pattern/pattern.hpp"
+#include "util/error.hpp"
+
+namespace xp::suite {
+
+namespace {
+
+using pattern::MapReduceSpec;
+using pattern::Node;
+using pattern::PipelineSpec;
+using pattern::TaskPoolSpec;
+
+std::unique_ptr<Node> build_pipestencil(const SuiteConfig& cfg) {
+  std::vector<std::unique_ptr<Node>> parts;
+  parts.push_back(pattern::make_mapreduce(
+      "init", MapReduceSpec{cfg.pat_items, 1, 6.0}));
+  parts.push_back(pattern::make_pipeline(
+      "sweep", PipelineSpec{cfg.pipe_stages, cfg.pipe_items, 400.0}));
+  parts.push_back(pattern::make_mapreduce(
+      "residual", MapReduceSpec{std::max<std::int64_t>(1, cfg.pat_items / 2),
+                                1, 10.0}));
+  return pattern::make_sequence("pipestencil", std::move(parts));
+}
+
+std::unique_ptr<Node> build_mrhist(const SuiteConfig& cfg) {
+  return pattern::make_mapreduce(
+      "hist", MapReduceSpec{cfg.pat_items, cfg.pat_bins, 12.0});
+}
+
+std::unique_ptr<Node> build_taskgraph(const SuiteConfig& cfg) {
+  XP_REQUIRE(cfg.pat_levels >= 1, "taskgraph needs at least one level");
+  std::vector<std::unique_ptr<Node>> levels;
+  for (int l = 0; l < cfg.pat_levels; ++l) {
+    TaskPoolSpec spec;
+    spec.tasks = std::max(4, cfg.pat_tasks >> l);
+    spec.base_flops = 200.0;
+    spec.max_extra = 800.0 * (l + 1);  // deeper levels more heterogeneous
+    spec.seed = 0xDA6ull + static_cast<std::uint64_t>(l);
+    levels.push_back(
+        pattern::make_taskpool("level" + std::to_string(l), spec));
+  }
+  return pattern::make_sequence("taskgraph", std::move(levels));
+}
+
+std::unique_ptr<Node> build_pattern(const std::string& name,
+                                    const SuiteConfig& cfg) {
+  if (name == "pipestencil") return build_pipestencil(cfg);
+  if (name == "mrhist") return build_mrhist(cfg);
+  if (name == "taskgraph") return build_taskgraph(cfg);
+  throw util::Error("unknown pattern benchmark: " + name);
+}
+
+std::unique_ptr<rt::Program> make_pattern_program(const std::string& name,
+                                                  const SuiteConfig& cfg) {
+  return std::make_unique<pattern::PatternProgram>(
+      name, [name, cfg] { return build_pattern(name, cfg); });
+}
+
+}  // namespace
+
+std::unique_ptr<rt::Program> make_pipestencil(const SuiteConfig& cfg) {
+  return make_pattern_program("pipestencil", cfg);
+}
+
+std::unique_ptr<rt::Program> make_mrhist(const SuiteConfig& cfg) {
+  return make_pattern_program("mrhist", cfg);
+}
+
+std::unique_ptr<rt::Program> make_taskgraph(const SuiteConfig& cfg) {
+  return make_pattern_program("taskgraph", cfg);
+}
+
+const std::vector<std::string>& pattern_benchmark_names() {
+  static const std::vector<std::string> names = {"pipestencil", "mrhist",
+                                                 "taskgraph"};
+  return names;
+}
+
+std::map<std::int64_t, std::string> pattern_labels(const std::string& name,
+                                                   const SuiteConfig& cfg) {
+  std::unique_ptr<Node> root = build_pattern(name, cfg);
+  root->assign_regions(1);
+  return pattern::region_labels(*root);
+}
+
+}  // namespace xp::suite

@@ -21,6 +21,9 @@ std::unique_ptr<rt::Program> make_by_name(const std::string& name,
   if (name == "sort") return make_sort(cfg);
   if (name == "matmul")
     return make_matmul(rt::Dist::Block, rt::Dist::Block, cfg);
+  if (name == "pipestencil") return make_pipestencil(cfg);
+  if (name == "mrhist") return make_mrhist(cfg);
+  if (name == "taskgraph") return make_taskgraph(cfg);
   throw util::Error("unknown benchmark: " + name);
 }
 
@@ -34,6 +37,11 @@ std::string describe(const std::string& name) {
   if (name == "poisson") return "Fast Poisson solver";
   if (name == "sort") return "Bitonic sort module";
   if (name == "matmul") return "Matrix multiplication (validation program)";
+  if (name == "pipestencil")
+    return "Pipelined stencil sweep between mapreduce phases (patterns)";
+  if (name == "mrhist") return "Histogram by tree-combined mapreduce (patterns)";
+  if (name == "taskgraph")
+    return "Task-graph traversal as per-level task pools (patterns)";
   throw util::Error("unknown benchmark: " + name);
 }
 

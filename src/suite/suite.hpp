@@ -26,6 +26,8 @@
 // scaling), matching the paper's 1..32-processor sweeps.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,6 +63,13 @@ struct SuiteConfig {
   std::int64_t sort_keys = 16384;
   // Matmul
   std::int64_t matmul_n = 16;
+  // Pattern workloads (pipestencil / mrhist / taskgraph; pattern/pattern.hpp)
+  int pipe_stages = 8;            ///< pipeline stages
+  std::int64_t pipe_items = 48;   ///< items streamed through the pipeline
+  std::int64_t pat_items = 1 << 13;  ///< mapreduce items
+  int pat_bins = 8;               ///< histogram bins (<= 16)
+  int pat_tasks = 64;             ///< task-pool tasks at the widest level
+  int pat_levels = 3;             ///< task-graph BFS levels
 };
 
 std::unique_ptr<rt::Program> make_embar(const SuiteConfig& cfg = {});
@@ -74,6 +83,27 @@ std::unique_ptr<rt::Program> make_sort(const SuiteConfig& cfg = {});
 /// Matmul with the two per-dimension distribution attributes of §4.2.
 std::unique_ptr<rt::Program> make_matmul(rt::Dist d_row, rt::Dist d_col,
                                          const SuiteConfig& cfg = {});
+
+// Pattern-composed workloads (xp::pattern trees; patterns.cpp):
+//   pipestencil — mapreduce init, software-pipelined stencil sweep,
+//                 mapreduce residual check (a Sequence of three nodes);
+//   mrhist      — histogram mapreduce with a binary combining tree (a
+//                 single leaf node — no nesting);
+//   taskgraph   — one task pool per BFS level of a synthetic task DAG,
+//                 heterogeneous declared costs, greedy list scheduling.
+std::unique_ptr<rt::Program> make_pipestencil(const SuiteConfig& cfg = {});
+std::unique_ptr<rt::Program> make_mrhist(const SuiteConfig& cfg = {});
+std::unique_ptr<rt::Program> make_taskgraph(const SuiteConfig& cfg = {});
+
+/// The pattern workload names (NOT part of benchmark_names(): Table 2 is
+/// the paper's fixed inventory and the tab2 bench iterates it verbatim).
+const std::vector<std::string>& pattern_benchmark_names();
+
+/// Region id -> "kind:label" for a pattern benchmark's tree, built without
+/// running it (labels composed models and experiment-file callpaths).
+/// Throws util::Error for non-pattern names.
+std::map<std::int64_t, std::string> pattern_labels(const std::string& name,
+                                                   const SuiteConfig& cfg = {});
 
 /// The Table 2 names, in paper order.
 const std::vector<std::string>& benchmark_names();

@@ -22,6 +22,10 @@ const char* to_string(EventKind k) {
       return "PHBEGIN";
     case EventKind::PhaseEnd:
       return "PHEND";
+    case EventKind::PatternBegin:
+      return "PATBEGIN";
+    case EventKind::PatternEnd:
+      return "PATEND";
   }
   return "?";
 }
@@ -32,6 +36,7 @@ bool kind_from_string(const std::string& s, EventKind& out) {
       EventKind::BarrierEntry, EventKind::BarrierExit,
       EventKind::RemoteRead,   EventKind::RemoteWrite,
       EventKind::PhaseBegin,   EventKind::PhaseEnd,
+      EventKind::PatternBegin, EventKind::PatternEnd,
   };
   for (EventKind k : kAll) {
     if (s == to_string(k)) {

@@ -31,6 +31,14 @@ enum class EventKind : std::uint8_t {
   RemoteWrite = 5,   ///< write of element `object` owned by thread `peer`
   PhaseBegin = 6,    ///< user-level phase marker (id in `object`)
   PhaseEnd = 7,
+  /// Pattern-region delimiters (xp::pattern).  `object` carries the region
+  /// id (>= 1, stable across thread counts for one program structure),
+  /// `barrier_id` carries the pattern kind (pattern::Kind on the wire) and
+  /// — on PatternBegin only — `declared_bytes` carries the node's
+  /// structural size (stages / items / tasks) for reports.  Regions nest:
+  /// each thread's PatternEnd closes its innermost open PatternBegin.
+  PatternBegin = 8,
+  PatternEnd = 9,
 };
 
 const char* to_string(EventKind k);
@@ -41,6 +49,9 @@ constexpr bool is_barrier(EventKind k) {
 }
 constexpr bool is_remote(EventKind k) {
   return k == EventKind::RemoteRead || k == EventKind::RemoteWrite;
+}
+constexpr bool is_pattern(EventKind k) {
+  return k == EventKind::PatternBegin || k == EventKind::PatternEnd;
 }
 
 struct Event {

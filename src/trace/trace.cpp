@@ -101,6 +101,8 @@ void Trace::validate() const {
     bool in_barrier = false;          // saw entry, awaiting exit
     int last_barrier_id = -1;
     std::vector<std::int32_t> barrier_seq;
+    std::vector<std::int64_t> region_stack;  // open pattern regions
+    std::vector<std::int64_t> region_seq;    // PatternBegin order
   };
   std::vector<PerThread> st(static_cast<std::size_t>(n_threads_));
 
@@ -119,6 +121,9 @@ void Trace::validate() const {
         if (!s.begun) throw TraceError("ThreadEnd before Begin: " + e.str());
         if (s.in_barrier)
           throw TraceError("ThreadEnd inside a barrier: " + e.str());
+        if (!s.region_stack.empty())
+          throw TraceError("ThreadEnd inside an open pattern region: " +
+                           e.str());
         s.ended = true;
         break;
       case EventKind::BarrierEntry:
@@ -150,6 +155,24 @@ void Trace::validate() const {
       case EventKind::PhaseEnd:
         if (!s.begun) throw TraceError("event before ThreadBegin: " + e.str());
         break;
+      case EventKind::PatternBegin:
+        if (!s.begun) throw TraceError("event before ThreadBegin: " + e.str());
+        if (e.object < 1)
+          throw TraceError("pattern region id must be >= 1: " + e.str());
+        if (e.barrier_id < 0)
+          throw TraceError("pattern event missing pattern kind: " + e.str());
+        s.region_stack.push_back(e.object);
+        s.region_seq.push_back(e.object);
+        break;
+      case EventKind::PatternEnd:
+        if (!s.begun) throw TraceError("event before ThreadBegin: " + e.str());
+        if (s.region_stack.empty())
+          throw TraceError("PatternEnd without open region: " + e.str());
+        if (s.region_stack.back() != e.object)
+          throw TraceError("PatternEnd region id does not match innermost "
+                           "open region: " + e.str());
+        s.region_stack.pop_back();
+        break;
     }
   }
 
@@ -163,6 +186,10 @@ void Trace::validate() const {
       throw TraceError("thread " + std::to_string(t) +
                        " passes different barriers than thread 0 (data-"
                        "parallel model requires identical barrier sequences)");
+    if (s.region_seq != st[0].region_seq)
+      throw TraceError("thread " + std::to_string(t) +
+                       " passes different pattern regions than thread 0 "
+                       "(pattern nodes execute collectively)");
   }
 }
 

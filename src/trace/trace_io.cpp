@@ -25,6 +25,18 @@ namespace {
 constexpr std::int32_t kMaxThreads = 1 << 20;
 constexpr std::uint32_t kMaxMetaEntries = 1 << 16;
 
+// Format versioning: v1 tops out at PhaseEnd; v2 adds the pattern-region
+// delimiters (EventKind::PatternBegin/PatternEnd).  Writers emit the OLDEST
+// version that can represent the trace — traces without pattern events
+// serialize byte-identically to the pre-pattern library, which is what
+// keeps the committed goldens stable — and readers accept both versions
+// but reject pattern kinds inside a v1 stream (a v1 producer cannot have
+// written them; their presence means corruption).
+constexpr std::uint8_t max_kind_for_version(std::uint32_t version) {
+  return static_cast<std::uint8_t>(version >= 2 ? EventKind::PatternEnd
+                                                : EventKind::PhaseEnd);
+}
+
 void check_event_fields(const Event& e, int n_threads) {
   if (e.thread < 0 || e.thread >= n_threads)
     throw TraceError("trace event thread " + std::to_string(e.thread) +
@@ -39,14 +51,23 @@ void check_event_fields(const Event& e, int n_threads) {
     throw TraceError("trace event peer " + std::to_string(e.peer) +
                      " out of range for " + std::to_string(n_threads) +
                      " threads");
+  if (is_pattern(e.kind) && (e.object < 1 || e.barrier_id < 0))
+    throw TraceError("pattern event needs region id >= 1 and a pattern "
+                     "kind: " + e.str());
 }
 
 }  // namespace
 
+bool has_pattern_events(const Trace& t) {
+  for (const Event& e : t.events())
+    if (is_pattern(e.kind)) return true;
+  return false;
+}
+
 // --- text format ---------------------------------------------------------
 
 void write_text(const Trace& t, std::ostream& os) {
-  os << "#XPTRACE v1\n";
+  os << (has_pattern_events(t) ? "#XPTRACE v2\n" : "#XPTRACE v1\n");
   os << "#threads " << t.n_threads() << '\n';
   for (const auto& [k, v] : t.all_meta()) os << "#meta " << k << ' ' << v << '\n';
   for (const Event& e : t.events()) {
@@ -58,8 +79,15 @@ void write_text(const Trace& t, std::ostream& os) {
 
 Trace read_text(std::istream& is) {
   std::string line;
-  if (!std::getline(is, line) || line != "#XPTRACE v1")
-    throw TraceError("not a text trace (missing #XPTRACE v1 header)");
+  std::uint32_t version = 0;
+  if (std::getline(is, line)) {
+    if (line == "#XPTRACE v1")
+      version = 1;
+    else if (line == "#XPTRACE v2")
+      version = 2;
+  }
+  if (version == 0)
+    throw TraceError("not a text trace (missing #XPTRACE v1/v2 header)");
   Trace t;
   while (std::getline(is, line)) {
     if (line.empty()) continue;
@@ -99,6 +127,10 @@ Trace read_text(std::istream& is) {
     e.thread = thread;
     if (!kind_from_string(kind_s, e.kind))
       throw TraceError("unknown event kind: " + line);
+    if (static_cast<std::uint8_t>(e.kind) > max_kind_for_version(version))
+      throw TraceError("event kind " + kind_s +
+                       " not valid in a v" + std::to_string(version) +
+                       " trace: " + line);
     e.barrier_id = barrier_id;
     e.peer = peer;
     e.object = object;
@@ -115,7 +147,7 @@ Trace read_text(std::istream& is) {
 
 namespace {
 constexpr char kMagic[4] = {'X', 'P', 'T', 'B'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kMaxVersion = 2;
 
 template <typename T>
 void put(std::ostream& os, T v) {
@@ -157,7 +189,7 @@ std::string get_string(std::istream& is) {
 
 void write_binary(const Trace& t, std::ostream& os) {
   os.write(kMagic, 4);
-  put<std::uint32_t>(os, kVersion);
+  put<std::uint32_t>(os, has_pattern_events(t) ? 2u : 1u);
   put<std::int32_t>(os, t.n_threads());
   put<std::uint32_t>(os, static_cast<std::uint32_t>(t.all_meta().size()));
   for (const auto& [k, v] : t.all_meta()) {
@@ -183,7 +215,7 @@ Trace read_binary(std::istream& is) {
   if (!is || std::memcmp(magic, kMagic, 4) != 0)
     throw TraceError("not a binary trace (bad magic)");
   const std::uint32_t ver = get<std::uint32_t>(is);
-  if (ver != kVersion)
+  if (ver < 1 || ver > kMaxVersion)
     throw TraceError("unsupported binary trace version " + std::to_string(ver));
   Trace t;
   const std::int32_t n_threads = get<std::int32_t>(is);
@@ -208,7 +240,7 @@ Trace read_binary(std::istream& is) {
     e.time = Time::ns(get<std::int64_t>(is));
     e.thread = get<std::int32_t>(is);
     const std::uint8_t kind = get<std::uint8_t>(is);
-    if (kind > static_cast<std::uint8_t>(EventKind::PhaseEnd))
+    if (kind > max_kind_for_version(ver))
       throw TraceError("binary trace: bad event kind");
     e.kind = static_cast<EventKind>(kind);
     e.barrier_id = get<std::int32_t>(is);

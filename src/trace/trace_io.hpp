@@ -7,6 +7,12 @@
 //            ("XPTB" magic).  The layout is written field-by-field, not by
 //            dumping structs, so it is independent of padding/ABI.
 //
+// Both formats are versioned: v1 is the original event vocabulary, v2 adds
+// the pattern-region delimiters (trace/event.hpp).  Writers emit the oldest
+// version that can represent the trace (so pattern-free traces are byte-
+// identical to the pre-pattern library); readers accept both versions and
+// reject pattern kinds inside a v1 stream.
+//
 // Readers validate headers and field ranges and throw util::TraceError on
 // malformed input.  They are hardened for untrusted bytes (the xp::serve
 // daemon parses uploaded traces): thread/peer indices are range-checked,
@@ -21,6 +27,11 @@
 #include "trace/trace.hpp"
 
 namespace xp::trace {
+
+/// True when the trace carries PatternBegin/PatternEnd delimiters — the
+/// content gate both writers use to pick format v2 over v1 (pattern-free
+/// traces keep their pre-pattern bytes).
+bool has_pattern_events(const Trace& t);
 
 void write_text(const Trace& t, std::ostream& os);
 Trace read_text(std::istream& is);

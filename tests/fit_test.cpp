@@ -8,6 +8,7 @@
 #include "fit/phase_fit.hpp"
 #include "fit/pmnf.hpp"
 #include "fit/solver.hpp"
+#include "pattern/compose.hpp"
 #include "suite/suite.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -301,6 +302,75 @@ TEST(FitIntegration, SweepCurveAndAttribution) {
   EXPECT_GT(remote.eval(8), remote.eval(1));
   const FitResult& compute = attr.components[0].fit;
   EXPECT_LT(compute.eval(8), compute.eval(1));
+}
+
+// --- integration: per-pattern synthetic costs --------------------------
+
+TEST(FitIntegration, PerPatternSyntheticCostsRecoveredStageByStage) {
+  // Property test over the pattern composition layer: inject a KNOWN PMNF
+  // self-cost into each stage of a synthetic pattern tree, fit through
+  // pattern::compose_regions, and require every STAGE's model — not just
+  // the composed sum — to reproduce its injected curve out of sample.
+  namespace pat = ::xp::pattern;
+  const std::vector<int> procs{1, 2, 4, 8, 16, 32, 64};
+  const auto pipe_cost = [](double n) { return 900.0 / n + 60.0; };
+  const auto mr_cost = [](double n) { return 14.0 * std::log2(n) + 33.0; };
+  const auto root_cost = [](double) { return 21.0; };  // constant glue
+  const double resid_us = 7.0;
+
+  std::vector<std::vector<pat::RegionSpan>> spans;
+  std::vector<util::Time> totals;
+  for (const int n : procs) {
+    pat::RegionSpan root, pipe, mr;
+    root.region = 1;
+    root.kind = pat::Kind::Sequence;
+    root.detail = 2;
+    root.children = {2, 3};
+    pipe.region = 2;
+    pipe.kind = pat::Kind::Pipeline;
+    pipe.detail = 6;
+    pipe.parent = 1;
+    mr.region = 3;
+    mr.kind = pat::Kind::MapReduce;
+    mr.detail = 8;
+    mr.parent = 1;
+    pipe.self = pipe.span = util::Time::us(pipe_cost(n));
+    mr.self = mr.span = util::Time::us(mr_cost(n));
+    root.self = util::Time::us(root_cost(n));
+    root.span = root.self + pipe.span + mr.span;
+    root.end = root.span;
+    totals.push_back(root.span + util::Time::us(resid_us));
+    spans.push_back({root, pipe, mr});
+  }
+
+  pat::ComposeOptions opt;
+  opt.fit.bootstrap = 0;
+  const pat::ComposedModel cm =
+      pat::compose_regions(procs, spans, totals, opt);
+  ASSERT_EQ(cm.regions.size(), 3u);
+  for (const double n : {96.0, 128.0}) {
+    EXPECT_NEAR(cm.regions[0].self_fit.eval(n), root_cost(n),
+                0.02 * root_cost(n))
+        << "root @ n=" << n;
+    EXPECT_NEAR(cm.regions[1].self_fit.eval(n), pipe_cost(n),
+                0.02 * pipe_cost(n))
+        << "pipeline @ n=" << n;
+    EXPECT_NEAR(cm.regions[2].self_fit.eval(n), mr_cost(n), 0.02 * mr_cost(n))
+        << "mapreduce @ n=" << n;
+    const double expect = root_cost(n) + pipe_cost(n) + mr_cost(n) + resid_us;
+    EXPECT_NEAR(cm.eval(n), expect, 0.02 * expect) << "composed @ n=" << n;
+  }
+
+  // Deterministic under candidate shuffle, down to the bits: the fitter
+  // canonicalizes its candidate pool, so a reversed pool selects byte-
+  // identical models and f64-identical evaluations.
+  pat::ComposeOptions shuffled = opt;
+  shuffled.candidates = generate_terms(opt.fit.grid);
+  std::reverse(shuffled.candidates.begin(), shuffled.candidates.end());
+  const pat::ComposedModel cm2 =
+      pat::compose_regions(procs, spans, totals, shuffled);
+  EXPECT_EQ(cm.str(), cm2.str());
+  for (const double n : {8.0, 96.0, 128.0}) EXPECT_EQ(cm.eval(n), cm2.eval(n));
 }
 
 }  // namespace

@@ -48,6 +48,24 @@ Query distributed_query(int n_procs, double mips = 0.0) {
   return q;
 }
 
+/// Small pattern workloads so pattern-model sweeps stay fast in tests.
+ServiceOptions pattern_service_options() {
+  ServiceOptions opt;
+  opt.bench_config.pipe_stages = 6;
+  opt.bench_config.pipe_items = 24;
+  opt.bench_config.pat_items = 1 << 10;
+  opt.bench_config.pat_tasks = 32;
+  return opt;
+}
+
+PatternQuery distributed_pattern_query() {
+  PatternQuery q;
+  q.procs = {1, 2, 4, 6};
+  q.params_text = "preset = distributed";
+  q.eval_at = {8.0, 16.0};
+  return q;
+}
+
 // --- protocol --------------------------------------------------------------
 
 TEST(ServeProtocol, FrameRoundTrip) {
@@ -181,6 +199,64 @@ TEST(ServeProtocol, StatsDecodeToleratesPreModeReplies) {
   WireReader r2(old_bytes);
   EXPECT_EQ(decode_stats(r2), expect_old);
   EXPECT_NO_THROW(r2.expect_end());
+}
+
+TEST(ServeProtocol, PatternQueryAndResultRoundTrip) {
+  PatternQuery q = distributed_pattern_query();
+  q.mips_ratio = 2.5;
+  WireWriter w;
+  encode_pattern_query(w, q);
+  {
+    WireReader r(w.data());
+    EXPECT_EQ(decode_pattern_query(r), q);
+    EXPECT_NO_THROW(r.expect_end());
+  }
+
+  PatternModelResult res;
+  res.ok = true;
+  res.regions.push_back({1, 3, 0, 0, 0, "seq:pipestencil", "12 + 3*n"});
+  res.regions.push_back({2, 0, 6, 1, 1, "pipeline:sweep", "7*n^0.5"});
+  res.residual_model = "0.25";
+  res.eval_at = {8.0, 16.0};
+  res.value = {123.5, 99.25};
+  res.lo = {120.0, 95.0};
+  res.hi = {130.0, 104.0};
+  WireWriter w2;
+  encode_pattern_result(w2, res);
+  {
+    WireReader r(w2.data());
+    EXPECT_EQ(decode_pattern_result(r), res);
+    EXPECT_NO_THROW(r.expect_end());
+  }
+
+  PatternModelResult err;
+  err.error = "boom";
+  WireWriter w3;
+  encode_pattern_result(w3, err);
+  {
+    WireReader r(w3.data());
+    EXPECT_EQ(decode_pattern_result(r), err);
+  }
+
+  // Every truncation of either body throws instead of misparsing.
+  for (std::size_t n = 0; n < w.data().size(); ++n) {
+    WireReader r(std::string_view(w.data()).substr(0, n));
+    EXPECT_THROW(
+        {
+          (void)decode_pattern_query(r);
+          r.expect_end();
+        },
+        ProtocolError);
+  }
+  for (std::size_t n = 0; n < w2.data().size(); ++n) {
+    WireReader r(std::string_view(w2.data()).substr(0, n));
+    EXPECT_THROW(
+        {
+          (void)decode_pattern_result(r);
+          r.expect_end();
+        },
+        ProtocolError);
+  }
 }
 
 TEST(ServeProtocol, TruncatedBodyThrows) {
@@ -395,6 +471,59 @@ TEST(ServeService, SharedSourceCachesAcrossSessions) {
   EXPECT_EQ(st.sessions_open, 2u);
 }
 
+TEST(ServeService, PatternModelFitsBenchSessions) {
+  Service svc(pattern_service_options());
+  const auto session = svc.open_bench_session("mrhist");
+  const PatternModelResult res =
+      svc.run_pattern_model(session, distributed_pattern_query());
+  ASSERT_TRUE(res.ok) << res.error;
+  ASSERT_EQ(res.regions.size(), 1u);  // mrhist is a single mapreduce leaf
+  EXPECT_EQ(res.regions[0].region, 1);
+  EXPECT_EQ(res.regions[0].label, "mapreduce:hist");
+  EXPECT_EQ(res.regions[0].parent, 0);
+  EXPECT_EQ(res.regions[0].depth, 0);
+  EXPECT_FALSE(res.regions[0].model.empty());
+  EXPECT_FALSE(res.residual_model.empty());
+  ASSERT_EQ(res.eval_at.size(), 2u);
+  ASSERT_EQ(res.value.size(), 2u);
+  for (std::size_t i = 0; i < res.value.size(); ++i) {
+    EXPECT_GT(res.value[i], 0.0);
+    EXPECT_LE(res.lo[i], res.value[i]);
+    EXPECT_GE(res.hi[i], res.value[i]);
+  }
+}
+
+TEST(ServeService, PatternModelReportsErrorsInTheResult) {
+  Service svc(pattern_service_options());
+
+  // Unknown session.
+  EXPECT_FALSE(svc.run_pattern_model(999, distributed_pattern_query()).ok);
+
+  // Trace sessions cannot be swept to new thread counts.
+  const auto trace_session = svc.open_trace_session(load_golden());
+  const PatternModelResult on_trace =
+      svc.run_pattern_model(trace_session, distributed_pattern_query());
+  EXPECT_FALSE(on_trace.ok);
+  EXPECT_NE(on_trace.error.find("bench"), std::string::npos);
+
+  const auto session = svc.open_bench_session("mrhist");
+
+  // Too few / unordered fit counts.
+  PatternQuery two = distributed_pattern_query();
+  two.procs = {1, 2};
+  EXPECT_FALSE(svc.run_pattern_model(session, two).ok);
+  PatternQuery unsorted = distributed_pattern_query();
+  unsorted.procs = {4, 2, 1};
+  EXPECT_FALSE(svc.run_pattern_model(session, unsorted).ok);
+
+  // A pattern-free benchmark has nothing to fit.
+  const auto plain = svc.open_bench_session("cyclic");
+  const PatternModelResult no_patterns =
+      svc.run_pattern_model(plain, distributed_pattern_query());
+  EXPECT_FALSE(no_patterns.ok);
+  EXPECT_NE(no_patterns.error.find("pattern"), std::string::npos);
+}
+
 // --- server + client over a unix socket ------------------------------------
 
 TEST(ServeServer, EndToEndOverUnixSocket) {
@@ -595,6 +724,115 @@ TEST(ServeServer, ServedPredictionsMatchInProcessExtrapolatorBitwise) {
               local.sim.total_barrier_wait().count_ns());
   }
 
+  server.stop();
+  server.join();
+}
+
+TEST(ServeServer, ServedPatternModelMatchesInProcessServiceBitwise) {
+  const std::string sock = unique_socket("pat");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  opt.service = pattern_service_options();
+  Server server(std::move(opt));
+  server.start();
+
+  Client client = Client::connect_unix(sock);
+  for (const char* bench : {"pipestencil", "taskgraph"}) {
+    SCOPED_TRACE(bench);
+    const auto session = client.open_bench(bench);
+    const PatternModelResult served =
+        client.pattern_model(session, distributed_pattern_query());
+    ASSERT_TRUE(served.ok) << served.error;
+    EXPECT_GE(served.regions.size(), 3u);  // both benches are nested trees
+
+    // The daemon path — encode, socket, pool, decode — must reproduce the
+    // in-process Service to the last f64 bit (operator== compares every
+    // model string and band endpoint exactly).
+    Service local(pattern_service_options());
+    const auto local_session = local.open_bench_session(bench);
+    const PatternModelResult in_process =
+        local.run_pattern_model(local_session, distributed_pattern_query());
+    ASSERT_TRUE(in_process.ok) << in_process.error;
+    EXPECT_EQ(served, in_process);
+
+    client.close_session(session);
+  }
+
+  server.stop();
+  server.join();
+}
+
+TEST(ServeServer, OldWireFormsStillWorkOnAPatternAwareServer) {
+  // The version gate is the NEW VERB ITSELF: a pattern-aware server must
+  // keep serving every pre-pattern wire form byte-compatibly, and reject
+  // type bytes beyond its ken with an error reply, not a dropped
+  // connection.
+  const std::string sock = unique_socket("oldwire");
+  ServerOptions opt;
+  opt.unix_path = sock;
+  opt.service = pattern_service_options();
+  Server server(std::move(opt));
+  server.start();
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  Frame reply;
+  const auto exchange = [&](const std::string& frame_bytes) {
+    ASSERT_GT(send(fd, frame_bytes.data(), frame_bytes.size(), MSG_NOSIGNAL),
+              0);
+    std::string rbuf;
+    char buf[1 << 12];
+    for (;;) {
+      if (auto parsed = try_parse_frame(rbuf)) {
+        rbuf.erase(0, parsed->second);
+        reply = std::move(parsed->first);
+        return;
+      }
+      const ssize_t n = read(fd, buf, sizeof buf);
+      ASSERT_GT(n, 0) << "server closed the connection";
+      rbuf.append(buf, static_cast<std::size_t>(n));
+    }
+  };
+
+  // An old client's session open + flagless (pre-mode) batch.
+  {
+    WireWriter w;
+    w.str("mrhist");
+    exchange(encode_frame(MsgType::OpenBench, false, 1, w.data()));
+    WireReader r(reply.body);
+    ASSERT_EQ(r.u8(), 0) << "old OpenBench form rejected";
+    const std::uint64_t session = r.u64();
+
+    WireWriter wb;
+    wb.u64(session);
+    wb.u32(1);  // flagless count: the pre-kBatchHasModes form
+    encode_query(wb, distributed_query(2));
+    exchange(encode_frame(MsgType::QueryBatch, false, 2, wb.data()));
+    WireReader rb(reply.body);
+    ASSERT_EQ(rb.u8(), 0) << "old flagless batch rejected";
+    ASSERT_EQ(rb.u32(), 1u);
+    const QueryResult res = decode_query_result(rb);
+    EXPECT_TRUE(res.ok) << res.error;
+  }
+
+  // A type byte from beyond this server's protocol version: error reply,
+  // connection stays up (the next exchange proves it).
+  {
+    std::string future = encode_frame(MsgType::Stats, false, 3, "");
+    future[4] = static_cast<char>(MsgType::PatternModel) + 1;
+    exchange(future);
+    WireReader r(reply.body);
+    EXPECT_NE(r.u8(), 0) << "unknown type byte was accepted";
+    exchange(encode_frame(MsgType::Stats, false, 4, ""));
+    WireReader r2(reply.body);
+    EXPECT_EQ(r2.u8(), 0) << "connection poisoned by unknown type";
+  }
+
+  close(fd);
   server.stop();
   server.join();
 }

@@ -22,6 +22,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "pattern/pattern.hpp"
 #include "rt/runtime.hpp"
 #include "suite/suite.hpp"
 #include "trace/trace_io.hpp"
@@ -238,6 +239,167 @@ TEST(TraceIoMalformed, GoldenUploadSurvivesRoundTripUnderChecks) {
   write_binary(t, os);
   std::istringstream bin(os.str());
   EXPECT_NO_THROW(read_binary(bin));
+}
+
+// --- pattern goldens (format v2) -------------------------------------------
+//
+// One golden per pattern node kind, measured at n=2 with pinned small
+// specs.  They pin the v2 content gate from both sides: traces WITH
+// pattern delimiters serialize as v2 and round-trip byte-exactly, while
+// pattern-free traces (everything above) stay on v1 bytes.
+
+struct PatternGolden {
+  const char* path;
+  const char* program;
+  std::unique_ptr<pattern::Node> (*build)();
+};
+
+const PatternGolden kPatternGoldens[] = {
+    {XP_GOLDEN_DIR "/pattern_pipeline_n2.xpt", "golden_pipeline",
+     [] {
+       pattern::PipelineSpec s;
+       s.stages = 4;
+       s.items = 8;
+       return pattern::make_pipeline("gold", s);
+     }},
+    {XP_GOLDEN_DIR "/pattern_mapreduce_n2.xpt", "golden_mapreduce",
+     [] {
+       pattern::MapReduceSpec s;
+       s.items = 64;
+       s.bins = 4;
+       return pattern::make_mapreduce("gold", s);
+     }},
+    {XP_GOLDEN_DIR "/pattern_taskpool_n2.xpt", "golden_taskpool",
+     [] {
+       pattern::TaskPoolSpec s;
+       s.tasks = 12;
+       return pattern::make_taskpool("gold", s);
+     }},
+};
+
+Trace measure_pattern_golden(const PatternGolden& g) {
+  pattern::PatternProgram prog(g.program, g.build);
+  rt::MeasureOptions mo;
+  mo.n_threads = 2;
+  return rt::measure(prog, mo);
+}
+
+TEST(TraceIoPatternGolden, RegeneratePatternGoldens) {
+  if (std::getenv("XP_REGEN_GOLDEN") == nullptr)
+    GTEST_SKIP() << "set XP_REGEN_GOLDEN=1 to rewrite the pattern goldens";
+  for (const PatternGolden& g : kPatternGoldens) {
+    std::ofstream out(g.path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << g.path;
+    write_text(measure_pattern_golden(g), out);
+  }
+}
+
+TEST(TraceIoPatternGolden, TextAndBinaryRoundTripsReproduceBytes) {
+  for (const PatternGolden& g : kPatternGoldens) {
+    SCOPED_TRACE(g.path);
+    const std::string golden = slurp(g.path);
+    ASSERT_FALSE(golden.empty());
+    EXPECT_EQ(golden.rfind("#XPTRACE v2\n", 0), 0u)
+        << "a pattern trace must serialize as format v2";
+
+    std::istringstream in(golden);
+    const Trace t = read_text(in);
+    t.validate();
+    EXPECT_TRUE(has_pattern_events(t));
+    EXPECT_EQ(to_text(t), golden);
+
+    const std::string bin1 = to_binary(t);
+    // Binary version word is content-gated too: v2 for pattern traces.
+    ASSERT_GT(bin1.size(), 8u);
+    EXPECT_EQ(static_cast<int>(static_cast<unsigned char>(bin1[4])), 2);
+    std::istringstream bin_in(bin1);
+    const Trace t2 = read_binary(bin_in);
+    t2.validate();
+    EXPECT_EQ(to_binary(t2), bin1);
+    EXPECT_EQ(to_text(t2), golden);
+  }
+}
+
+TEST(TraceIoPatternGolden, MeasurementReproducesGoldenBytes) {
+  for (const PatternGolden& g : kPatternGoldens) {
+    SCOPED_TRACE(g.path);
+    EXPECT_EQ(to_text(measure_pattern_golden(g)), slurp(g.path))
+        << "re-measuring the pinned pattern node no longer matches; if the "
+           "tracer or pattern bodies changed intentionally, regenerate with "
+           "XP_REGEN_GOLDEN=1";
+  }
+}
+
+TEST(TraceIoPatternGolden, PatternFreeTracesKeepV1Bytes) {
+  // The content gate's other half: no pattern events, no v2 header — old
+  // readers keep parsing everything an unchanged program produces.
+  const Trace t = tiny_trace();
+  ASSERT_FALSE(has_pattern_events(t));
+  EXPECT_EQ(to_text(t).rfind("#XPTRACE v1\n", 0), 0u);
+  const std::string bin = to_binary(t);
+  ASSERT_GT(bin.size(), 8u);
+  EXPECT_EQ(static_cast<int>(static_cast<unsigned char>(bin[4])), 1);
+}
+
+TEST(TraceIoPatternMalformed, TextRejectsPatternCorruptions) {
+  using util::TraceError;
+  const std::string v1 = "#XPTRACE v1\n#threads 2\n";
+  const std::string v2 = "#XPTRACE v2\n#threads 2\n";
+  // Pattern kinds are a v2 feature: a v1 stream carrying them is corrupt.
+  EXPECT_THROW(read_text_str(v1 + "E 0 0 PATBEGIN 1 -1 3 4 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(v1 + "E 0 0 PATEND 1 -1 3 0 0\n"), TraceError);
+  // Region ids start at 1; kind and structural detail are non-negative.
+  EXPECT_THROW(read_text_str(v2 + "E 0 0 PATBEGIN 1 -1 0 4 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(v2 + "E 0 0 PATBEGIN 1 -1 -3 4 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(v2 + "E 0 0 PATBEGIN -1 -1 3 4 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(v2 + "E 0 0 PATBEGIN 1 -1 3 -4 0\n"), TraceError);
+  EXPECT_THROW(read_text_str(v2 + "E 0 0 PATEND 1 -1 0 0 0\n"), TraceError);
+  // The well-formed versions of the same lines parse.
+  EXPECT_NO_THROW(read_text_str(v2 + "E 0 0 PATBEGIN 1 -1 3 4 0\n"));
+  EXPECT_NO_THROW(read_text_str(v2 + "E 0 0 PATEND 1 -1 3 0 0\n"));
+}
+
+TEST(TraceIoPatternMalformed, BinaryRejectsPatternCorruptions) {
+  using util::TraceError;
+  std::istringstream in(slurp(kPatternGoldens[1].path));  // mapreduce
+  const Trace t = read_text(in);
+  const std::string good = to_binary(t);
+  ASSERT_NO_THROW(read_binary_str(good));
+
+  // Events are 37-byte records at the tail; locate the first pattern event
+  // (kind u8 at +12, barrier i32 at +13, object i64 at +21 in a record).
+  constexpr std::size_t kRecord = 37;
+  std::size_t pat_index = t.events().size();
+  for (std::size_t i = 0; i < t.events().size(); ++i)
+    if (is_pattern(t.events()[i].kind)) {
+      pat_index = i;
+      break;
+    }
+  ASSERT_LT(pat_index, t.events().size());
+  const std::size_t rec =
+      good.size() - t.events().size() * kRecord + pat_index * kRecord;
+  const auto with = [&](std::size_t off, std::initializer_list<int> bytes) {
+    std::string s = good;
+    std::size_t i = off;
+    for (const int b : bytes) s[i++] = static_cast<char>(b);
+    return s;
+  };
+
+  // A v1 version word over a stream with pattern kinds: the kinds are now
+  // out of range for the declared version.
+  EXPECT_THROW(read_binary_str(with(4, {1})), TraceError);
+  // Kind byte beyond the v2 maximum.
+  EXPECT_THROW(read_binary_str(with(rec + 12, {10})), TraceError);
+  // Region id forged to 0 (and to a negative value).
+  EXPECT_THROW(read_binary_str(with(rec + 21, {0, 0, 0, 0, 0, 0, 0, 0})),
+               TraceError);
+  EXPECT_THROW(
+      read_binary_str(with(rec + 21,
+                           {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})),
+      TraceError);
+  // Pattern kind (barrier field) forged negative.
+  EXPECT_THROW(
+      read_binary_str(with(rec + 13, {0xff, 0xff, 0xff, 0xff})), TraceError);
 }
 
 TEST(TraceIoRoundTrip, FileExtensionDispatch) {
