@@ -20,20 +20,28 @@ set -eu
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
+# Check every harness up front and name ALL the missing ones in one clear
+# message (instead of dying mid-run, or handing jq a half-written file).
+missing=""
 for bin in micro_engine abl_sweep_scaling abl_serve_qps abl_hybrid_scaling \
-           abl_pattern_fit; do
-  [ -x "$BUILD/bench/$bin" ] || {
-    echo "error: $BUILD/bench/$bin not built" >&2
-    exit 1
-  }
+           abl_pattern_fit abl_region_sampling; do
+  [ -x "$BUILD/bench/$bin" ] || missing="$missing $bin"
 done
+if [ -n "$missing" ]; then
+  echo "error: bench binaries missing from $BUILD/bench:$missing" >&2
+  echo "hint: build them first with: cmake --build $BUILD -j" >&2
+  echo "      (or pass the right build dir: scripts/bench_json.sh <dir>)" >&2
+  exit 1
+fi
 
 raw_json=$(mktemp)
 sweep_log=$(mktemp)
 serve_log=$(mktemp)
 hybrid_log=$(mktemp)
 pattern_log=$(mktemp)
-trap 'rm -f "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" "$pattern_log"' EXIT
+sampling_log=$(mktemp)
+trap 'rm -f "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" \
+  "$pattern_log" "$sampling_log"' EXIT
 
 "$BUILD/bench/micro_engine" \
   --benchmark_min_time=0.2 \
@@ -56,14 +64,20 @@ trap 'rm -f "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" "$pattern_log"' 
 # also shape-checks band coverage (bench/abl_pattern_fit).
 "$BUILD/bench/abl_pattern_fit" | tee "$pattern_log" >&2
 
+# Representative-epoch sampling on long iterative traces; also shape-checks
+# bitwise equality of the sampled dedup path and soundness of the tier-2
+# certified error bound (bench/abl_region_sampling).
+"$BUILD/bench/abl_region_sampling" | tee "$sampling_log" >&2
+
 python3 - "$raw_json" "$sweep_log" "$serve_log" "$hybrid_log" \
-  "$pattern_log" <<'PY'
+  "$pattern_log" "$sampling_log" <<'PY'
 import json
 import re
 import sys
 
-raw, sweep_log, serve_log, hybrid_log, pattern_log = (
-    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5])
+raw, sweep_log, serve_log, hybrid_log, pattern_log, sampling_log = (
+    sys.argv[1], sys.argv[2], sys.argv[3], sys.argv[4], sys.argv[5],
+    sys.argv[6])
 with open(raw) as f:
     data = json.load(f)
 
@@ -192,12 +206,58 @@ with open(pattern_log) as f:
                 "band_total": int(m.group(6)),
             }
 
+# Region-sampling harness: per-cell "region_sampling ..." rows, the
+# within-run "sampling_speedup ..." ratios (sampled Auto vs full-analytic
+# Hybrid on the SAME translated trace), and the tolerance sweep's
+# "sampling_tolerance ..." soundness rows (bench/abl_region_sampling).
+sampling = {}
+sampling_speedups = {}
+sampling_tolerance = {}
+with open(sampling_log) as f:
+    for line in f:
+        m = re.match(
+            r"region_sampling bench=(\w+) epochs=(\d+) mode=(\w+)"
+            r" sim_s=([0-9.]+) classes=(\d+) simulated=(\d+) replayed=(\d+)"
+            r" approximated=(\d+) error_bound_ns=(\d+) predicted_ns=(\d+)",
+            line)
+        if m:
+            sampling[f"sampling_{m.group(1)}_e{m.group(2)}_{m.group(3)}"] = {
+                "epochs": int(m.group(2)),
+                "seconds": float(m.group(4)),
+                "classes": int(m.group(5)),
+                "epochs_simulated": int(m.group(6)),
+                "epochs_replayed": int(m.group(7)),
+                "epochs_approximated": int(m.group(8)),
+                "error_bound_ns": int(m.group(9)),
+                "predicted_ns": int(m.group(10)),
+            }
+            continue
+        m = re.match(
+            r"sampling_speedup bench=(\w+) epochs=(\d+) speedup=([0-9.]+)x",
+            line)
+        if m:
+            sampling_speedups[f"{m.group(1)}_e{m.group(2)}"] = \
+                float(m.group(3))
+            continue
+        m = re.match(
+            r"sampling_tolerance bench=(\w+) tol=([0-9.]+) clusters=(\d+)"
+            r" simulated=(\d+) error_bound_ns=(\d+) actual_err_ns=(\d+)"
+            r" sound=(\d)", line)
+        if m:
+            sampling_tolerance[f"{m.group(1)}_tol{m.group(2)}"] = {
+                "clusters": int(m.group(3)),
+                "epochs_simulated": int(m.group(4)),
+                "error_bound_ns": int(m.group(5)),
+                "actual_err_ns": int(m.group(6)),
+                "sound": bool(int(m.group(7))),
+            }
+
 out = {
-    "schema": "xp-bench-sim/5",
+    "schema": "xp-bench-sim/6",
     "hw_concurrency": hw,
     "source": ["bench/micro_engine", "bench/abl_sweep_scaling",
                "bench/abl_serve_qps", "bench/abl_hybrid_scaling",
-               "bench/abl_pattern_fit"],
+               "bench/abl_pattern_fit", "bench/abl_region_sampling"],
     "note": "items_per_second is best-of-5 repetitions; "
             "see scripts/bench_json.sh for methodology",
     "benchmarks": dict(sorted(best.items())),
@@ -206,6 +266,9 @@ out = {
     "hybrid": hybrid,
     "hybrid_speedup_vs_event": hybrid_speedups,
     "pattern": pattern,
+    "sampling": sampling,
+    "sampling_speedup_vs_hybrid": sampling_speedups,
+    "sampling_tolerance": sampling_tolerance,
 }
 
 # Embed the committed pre-overhaul numbers (measured with the identical
@@ -235,7 +298,7 @@ with open("BENCH_sim.json", "w") as f:
 print("wrote BENCH_sim.json "
       f"({len(best)} micro benchmarks, {len(sweep)} sweep rows, "
       f"{len(serve)} serve rows, {len(hybrid)} hybrid rows, "
-      f"{len(pattern)} pattern rows)")
+      f"{len(pattern)} pattern rows, {len(sampling)} sampling rows)")
 
 # --- Regression gates -------------------------------------------------
 # Both gates always run (a fiber pass must not short-circuit the sweep
@@ -397,6 +460,38 @@ else:
         worst = max(row["composed_err_pct"] for row in pattern.values())
         print(f"pattern gate: OK (composed wins {pat_wins}/{len(pattern)}, "
               f"worst held-out error {worst:.1f}%)")
+
+# Gate 6: representative-epoch sampling.  On the 1000-iteration Grid trace
+# (>= 1000 epochs, ~3 distinct classes) the sampled Auto path must beat the
+# full-analytic Hybrid replay of the SAME translated trace by >= 10x
+# simulate-stage wall time — a within-run ratio, so host-speed drift cannot
+# mask a regression.  (The harness itself also holds the dedup predictions
+# bitwise-equal to full simulation and the tier-2 bound sound; a mismatch
+# fails its shape checks.)  Also require every tolerance row sound.
+long_keys = [k for k, row in sampling_speedups.items()
+             if int(k.rsplit("_e", 1)[1]) >= 1000]
+if not long_keys:
+    print("sampling gate: FAIL — no >= 1000-epoch speedup row in "
+          "abl_region_sampling output (format drift?)", file=sys.stderr)
+    failed = True
+else:
+    bad = {k: sampling_speedups[k] for k in long_keys
+           if sampling_speedups[k] < 10.0}
+    unsound = [k for k, row in sampling_tolerance.items()
+               if not row["sound"]]
+    if bad:
+        print(f"sampling gate: FAIL — sampled speedup below 10x at >= 1000 "
+              f"epochs: {bad} (set XP_BENCH_NO_GATE=1 to override)",
+              file=sys.stderr)
+        failed = True
+    elif unsound:
+        print(f"sampling gate: FAIL — certified error bound violated at "
+              f"{unsound}", file=sys.stderr)
+        failed = True
+    else:
+        peak = max(sampling_speedups[k] for k in long_keys)
+        print(f"sampling gate: OK ({peak:.1f}x full-analytic at >= 1000 "
+              f"epochs, {len(sampling_tolerance)} tolerance rows sound)")
 
 sys.exit(1 if failed else 0)
 PY

@@ -1,5 +1,6 @@
 #include "core/compiled_trace.hpp"
 
+#include "core/translate.hpp"
 #include "util/error.hpp"
 
 namespace xp::core {
@@ -126,6 +127,11 @@ CompiledTrace CompiledTrace::compile(
     for (const RemoteRec& r : th.remotes)
       if (r.peer >= 0 && r.peer < ct.n_threads)
         ++ct.inbound_remotes[static_cast<std::size_t>(r.peer)];
+  // Representative-epoch class table (core/translate.hpp): grouped here,
+  // once per compile, so sampling shares it across every simulation of a
+  // sweep — the same amortization contract as the segment table.  Only
+  // meaningful under lockstep barriers (the sampled path's precondition).
+  if (ct.uniform_barriers) ct.epoch_classes = build_epoch_classes(ct);
   return ct;
 }
 

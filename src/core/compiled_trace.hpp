@@ -97,6 +97,43 @@ struct CompiledThread {
   std::vector<Segment> segments;    ///< barrier_ids.size() + 1 entries
 };
 
+/// Representative-epoch class table (DESIGN.md §15).  Iterative codes
+/// replay near-identical barrier-delimited epochs thousands of times; this
+/// table groups a trace set's epochs into classes of BIT-IDENTICAL content
+/// so the simulator's sampled path (SimMode::Auto) can walk one exemplar
+/// per class and multiply.
+///
+/// Epoch e's content is the cross-thread tuple of segment e's op kinds,
+/// unscaled compute intervals (pre_delta), remote records (peer / declared
+/// / actual / is_write — NOT the object id, which never enters a cost),
+/// and terminator kind.  Barrier ids are deliberately EXCLUDED: they name
+/// barrier instances, not costs, so iteration k and iteration k+1 of the
+/// same loop body land in the same class.  `fingerprint` is an FNV-1a hash
+/// of that content; classes are only merged after a full structural
+/// comparison of the exemplars, so hash collisions can never merge
+/// distinct epochs (they only cost a comparison).  The final epoch
+/// terminates with End instead of Barrier and therefore always forms its
+/// own class.
+///
+/// Built once per CompiledTrace (uniform_barriers only — the lockstep
+/// precondition the sampled path shares with the hybrid fast path) and
+/// shared read-only by every simulation; tolerance CLUSTERING of
+/// near-identical classes is per-simulation state (core/simulator.hpp).
+struct EpochClassTable {
+  std::vector<std::uint64_t> fingerprint;  ///< per epoch
+  std::vector<std::int32_t> class_of;      ///< per epoch -> class index
+  std::vector<std::int64_t> exemplar;      ///< per class -> first epoch
+  std::vector<std::int64_t> count;         ///< per class -> member epochs
+
+  std::int64_t epochs() const {
+    return static_cast<std::int64_t>(class_of.size());
+  }
+  std::int64_t n_classes() const {
+    return static_cast<std::int64_t>(exemplar.size());
+  }
+  bool built() const { return !class_of.empty(); }
+};
+
 struct CompiledTrace {
   int n_threads = 0;
   std::vector<CompiledThread> threads;
@@ -111,6 +148,10 @@ struct CompiledTrace {
   /// thread t — the per-owner access histogram of the contention pre-pass.
   /// A thread that is never an owner is trivially uncontended.
   std::vector<std::int64_t> inbound_remotes;
+
+  /// Epoch -> class grouping for representative-epoch sampling; built by
+  /// compile() iff uniform_barriers (empty otherwise — check built()).
+  EpochClassTable epoch_classes;
 
   /// Lower a translated trace set (one trace per thread, as produced by
   /// core::translate) into compiled form.  Throws util::Error on the same

@@ -1,10 +1,14 @@
 #include "core/simulator.hpp"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <memory>
 #include <utility>
+
+#include "core/translate.hpp"
 
 #include "model/barrier_model.hpp"
 #include "model/processor_model.hpp"
@@ -157,6 +161,7 @@ class Simulator {
             const SimOptions& opts)
       : params_(params),
         opts_(opts),
+        compiled_(&compiled),
         n_(compiled.n_threads),
         n_procs_(model::effective_procs(params.proc, n_)),
         plan_(model::make_plan(params.barrier.alg, n_)),
@@ -176,7 +181,17 @@ class Simulator {
 
   SimResult run() {
     if (hyb_.path == HybridStats::Path::PureAnalytic) {
-      run_analytic();
+      // Representative-epoch sampling (SimMode::Auto, DESIGN.md §15): only
+      // on the engine-free path, only without trace emission (every epoch
+      // must be walked to emit its events), and only when the compile-time
+      // epoch-class table exists (hand-built CompiledTrace instances may
+      // predate it).  Dedup is bitwise-exact, so eligibility — not
+      // correctness — is the only thing these conditions guard.
+      if (opts_.mode == SimMode::Auto && !opts_.emit_trace &&
+          compiled_->epoch_classes.built())
+        run_analytic_sampled();
+      else
+        run_analytic();
     } else {
       for (auto& t : threads_) proceed(*t);
       engine_.run();
@@ -202,6 +217,7 @@ class Simulator {
     r.avg_inflight = network_.load_samples().mean();
     r.engine_events = engine_.fired();
     r.hybrid = hyb_;
+    r.sampling = samp_;
     return r;
   }
 
@@ -546,6 +562,217 @@ class Simulator {
             exit_at - wait_start[static_cast<std::size_t>(t)];
         cur[static_cast<std::size_t>(t)] = exit_at;
       }
+    }
+  }
+
+  // --- representative-epoch sampling (SimMode::Auto, DESIGN.md §15) --------
+  //
+  // Why Σ class_count × exemplar_advance is EXACT on the pure-analytic
+  // path:
+  //
+  //   * walk_segment(T, seg, start) is start-translation-invariant — every
+  //     step adds an increment that depends only on segment content and
+  //     params (integer ns addition is exact), so a segment's advance and
+  //     stat deltas are properties of its CONTENT, not its position;
+  //   * model::analytic_release broadcasts ONE release instant to every
+  //     thread and is itself translation-invariant, so after every analytic
+  //     barrier all threads stand at the same uniform time — each epoch
+  //     starts from offset zero;
+  //   * therefore bit-identical epochs (EpochClassTable classes) have
+  //     bit-identical advances and per-thread stat deltas, and the
+  //     epoch-by-epoch sum reorders into per-class integer multiplies
+  //     without changing a single bit.
+  //
+  // The full-trace prediction is composed as Σ_c count_c × advance_c over
+  // the barrier epochs plus the final (End-terminated, always singleton)
+  // epoch's walk; non-recurring warmup/teardown epochs are singleton
+  // classes, i.e. replayed exactly.  Cost: O(classes) walks instead of
+  // O(epochs) — the speedup is epochs/classes, ~300x for a 1000-iteration
+  // Grid run.
+
+  /// Scale a span by an integer count — exact (no llround), unlike
+  /// Time::operator*(double).
+  static Time times(Time t, std::int64_t k) {
+    return Time::ns(t.count_ns() * k);
+  }
+
+  /// Replace the delta `s − before` by `m` copies of it: the per-class
+  /// stat composition.  barrier_wait and finish are excluded by
+  /// construction — walk_segment never touches them.
+  static void scale_stats_delta(ThreadStats& s, const ThreadStats& before,
+                                std::int64_t m) {
+    if (m == 1) return;
+    const std::int64_t k = m - 1;
+    s.compute += times(s.compute - before.compute, k);
+    s.comm_wait += times(s.comm_wait - before.comm_wait, k);
+    s.send_overhead += times(s.send_overhead - before.send_overhead, k);
+    s.service_time += times(s.service_time - before.service_time, k);
+    s.poll_time += times(s.poll_time - before.poll_time, k);
+    s.remote_accesses += (s.remote_accesses - before.remote_accesses) * k;
+    s.intra_cluster_accesses +=
+        (s.intra_cluster_accesses - before.intra_cluster_accesses) * k;
+    s.requests_served += (s.requests_served - before.requests_served) * k;
+    s.interrupts_taken += (s.interrupts_taken - before.interrupts_taken) * k;
+    s.polls += (s.polls - before.polls) * k;
+  }
+
+  /// Tolerance clustering test: can class `c` take its costs from class
+  /// `rep`'s exemplar?  Requires identical structure (same op kinds and
+  /// remote records — communication cost is then IDENTICAL, only compute
+  /// intervals differ) and per-thread interval distance within the
+  /// relative tolerance.  On success `slack_out` is the certified
+  /// per-epoch advance error:
+  ///
+  ///   per thread, |walk(c) − walk(rep)| = |Σ scale(aᵢ) − Σ scale(bᵢ)|
+  ///     <= ratio · Σ|aᵢ − bᵢ| + 1 ns per interval (one llround each;
+  ///        exact — no rounding term — when MipsRatio == 1), and
+  ///   the barrier release is max(arrivals) + constants: monotone and
+  ///   translation-invariant, hence 1-Lipschitz in the sup norm, so the
+  ///   epoch advance error is at most the worst per-thread walk error.
+  bool try_cluster(const EpochClassTable& tab, std::int32_t rep,
+                   std::int32_t c, double tol, Time& slack_out) const {
+    const CompiledTrace& ct = *compiled_;
+    const std::int64_t ea = tab.exemplar[static_cast<std::size_t>(rep)];
+    const std::int64_t eb = tab.exemplar[static_cast<std::size_t>(c)];
+    if (!epochs_same_shape(ct, ea, eb)) return false;
+    const double ratio = params_.proc.mips_ratio;
+    std::int64_t max_slack_ns = 0;
+    for (int t = 0; t < n_; ++t) {
+      const CompiledThread& th = ct.threads[static_cast<std::size_t>(t)];
+      const Segment& sa = th.segments[static_cast<std::size_t>(ea)];
+      const Segment& sb = th.segments[static_cast<std::size_t>(eb)];
+      const std::uint32_t n_ops = sa.op_end - sa.op_begin;
+      std::int64_t sum_abs = 0;
+      for (std::uint32_t i = 0; i <= n_ops; ++i) {
+        const std::int64_t d =
+            th.pre_delta[sa.op_begin + i].count_ns() -
+            th.pre_delta[sb.op_begin + i].count_ns();
+        sum_abs += d < 0 ? -d : d;
+      }
+      const auto bigger =
+          std::max(sa.presum.count_ns(), sb.presum.count_ns());
+      if (static_cast<double>(sum_abs) > tol * static_cast<double>(bigger))
+        return false;
+      const std::int64_t slack =
+          ratio == 1.0
+              ? sum_abs
+              : static_cast<std::int64_t>(
+                    std::ceil(ratio * static_cast<double>(sum_abs))) +
+                    (n_ops + 1);
+      max_slack_ns = std::max(max_slack_ns, slack);
+    }
+    slack_out = Time::ns(max_slack_ns);
+    return true;
+  }
+
+  void run_analytic_sampled() {
+    const EpochClassTable& tab = compiled_->epoch_classes;
+    const auto n_classes = static_cast<std::int32_t>(tab.n_classes());
+    samp_.active = true;
+    samp_.epochs = tab.epochs();
+    samp_.classes = n_classes;
+    // End-terminated, so never mergeable with a barrier epoch: always a
+    // singleton class, walked last (it closes the threads out).
+    const std::int32_t final_class = tab.class_of.back();
+
+    // Tier 2: attach same-shape classes within the relative tolerance to
+    // an earlier representative.  Excluded under Poll (see
+    // SimOptions::epoch_tolerance) — poll-boundary counts jump, so the
+    // Lipschitz bound above would not hold.
+    const bool polling = params_.proc.policy == model::ServicePolicy::Poll;
+    const double tol = polling ? 0.0 : opts_.epoch_tolerance;
+    std::vector<std::int32_t> rep_of(static_cast<std::size_t>(n_classes));
+    std::vector<Time> slack_of(static_cast<std::size_t>(n_classes));
+    std::vector<std::int32_t> reps;
+    reps.reserve(static_cast<std::size_t>(n_classes));
+    for (std::int32_t c = 0; c < n_classes; ++c) {
+      rep_of[static_cast<std::size_t>(c)] = c;
+      if (tol > 0 && c != final_class) {
+        for (const std::int32_t r : reps) {
+          if (r == final_class) continue;
+          Time slack;
+          if (try_cluster(tab, r, c, tol, slack)) {
+            rep_of[static_cast<std::size_t>(c)] = r;
+            slack_of[static_cast<std::size_t>(c)] = slack;
+            break;
+          }
+        }
+      }
+      if (rep_of[static_cast<std::size_t>(c)] == c) reps.push_back(c);
+    }
+    samp_.clusters = static_cast<std::int64_t>(reps.size());
+
+    std::vector<std::int64_t> mult(static_cast<std::size_t>(n_classes), 0);
+    for (std::int32_t c = 0; c < n_classes; ++c)
+      mult[static_cast<std::size_t>(rep_of[static_cast<std::size_t>(c)])] +=
+          tab.count[static_cast<std::size_t>(c)];
+
+    // One exemplar walk per cluster, from time zero (walks are
+    // translation-invariant, so position never matters).  `base`
+    // accumulates Σ count × advance over the barrier epochs — the uniform
+    // instant at which the final epoch starts.
+    std::vector<Time> at(static_cast<std::size_t>(n_));
+    std::vector<Time> arrival(static_cast<std::size_t>(n_));
+    Time base;
+    for (const std::int32_t r : reps) {
+      if (r == final_class) continue;
+      const auto e = static_cast<std::size_t>(
+          tab.exemplar[static_cast<std::size_t>(r)]);
+      const std::int64_t m = mult[static_cast<std::size_t>(r)];
+      Time max_arrival;
+      for (int t = 0; t < n_; ++t) {
+        ThreadCtx& T = thr(t);
+        const Segment& seg = T.code->segments[e];
+        const ThreadStats before = T.stats;
+        T.remote = seg.remote_begin;
+        const Time w = walk_segment(T, seg, Time::zero());
+        ++hyb_.ops_collapsed;  // the terminating Barrier op
+        T.op = seg.op_end + 1;
+        at[static_cast<std::size_t>(t)] = w;
+        arrival[static_cast<std::size_t>(t)] =
+            w + params_.barrier.entry_time;
+        max_arrival =
+            util::max(max_arrival, arrival[static_cast<std::size_t>(t)]);
+        scale_stats_delta(T.stats, before, m);
+      }
+      const std::vector<Time> release =
+          model::analytic_release(params_.barrier, arrival);
+      const Time exit = util::max(release[0], max_arrival);
+      for (int t = 1; t < n_; ++t)
+        XP_CHECK(util::max(release[static_cast<std::size_t>(t)],
+                           max_arrival) == exit,
+                 "sampled composition needs uniform analytic barrier exits");
+      for (int t = 0; t < n_; ++t)
+        thr(t).stats.barrier_wait +=
+            times(exit - at[static_cast<std::size_t>(t)], m);
+      base += times(exit, m);
+      ++samp_.epochs_simulated;
+    }
+
+    // Final epoch: exact replay (singleton class); closes every thread.
+    {
+      const auto e = static_cast<std::size_t>(
+          tab.exemplar[static_cast<std::size_t>(final_class)]);
+      for (int t = 0; t < n_; ++t) {
+        ThreadCtx& T = thr(t);
+        const Segment& seg = T.code->segments[e];
+        T.remote = seg.remote_begin;
+        const Time w = walk_segment(T, seg, Time::zero());
+        ++hyb_.ops_collapsed;  // the End op
+        T.op = seg.op_end + 1;
+        T.state = TState::Done;
+        T.stats.finish = base + w;
+      }
+      ++samp_.epochs_simulated;
+    }
+
+    for (std::int32_t c = 0; c < n_classes; ++c) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (rep_of[ci] != c)
+        samp_.epochs_approximated += tab.count[ci];
+      else if (tab.count[ci] == 1)
+        ++samp_.epochs_replayed;
+      samp_.error_bound += times(slack_of[ci], tab.count[ci]);
     }
   }
 
@@ -900,6 +1127,7 @@ class Simulator {
 
   SimParams params_;
   SimOptions opts_;
+  const CompiledTrace* compiled_;
   int n_;
   int n_procs_;
   model::BarrierPlan plan_;
@@ -915,6 +1143,7 @@ class Simulator {
   std::int64_t epochs_ = 0;
   std::vector<char> blocked_;  ///< epochs_ x n_: segment demoted to events
   HybridStats hyb_;
+  SamplingStats samp_;
 };
 
 }  // namespace

@@ -61,9 +61,18 @@ struct ThreadStats {
 ///    fallback.  When EVERY segment collapses the engine is skipped
 ///    entirely (HybridStats::Path::PureAnalytic), which is what makes
 ///    n = 10^4..10^6 simulated processors feasible.
-///  * Auto — let the library pick; currently an alias for Hybrid (kept
-///    distinct on the wire and in stats so the serving default can evolve
-///    without a protocol change).
+///  * Auto — let the library pick: Hybrid, plus representative-epoch
+///    SAMPLING on top of the pure-analytic path (DESIGN.md §15).  When the
+///    whole run is engine-free and no extrapolated trace is requested, Auto
+///    simulates ONE exemplar per epoch class (bit-identical epochs grouped
+///    at compile time, core::EpochClassTable) and composes the prediction
+///    as Σ class_count × exemplar advance — exact, because analytic
+///    barriers release every thread at one uniform instant and segment
+///    walks are start-translation-invariant, so integer per-class deltas
+///    multiply without error.  Identical-epoch dedup is therefore ALSO
+///    bitwise-equal to EventDriven; with SimOptions::epoch_tolerance > 0
+///    it additionally substitutes near-identical classes and reports a
+///    certified error bound (SamplingStats::error_bound).
 enum class SimMode : std::uint8_t { EventDriven, Hybrid, Auto };
 const char* to_string(SimMode m);
 
@@ -71,8 +80,18 @@ struct SimOptions {
   SimMode mode = SimMode::EventDriven;
   /// Build the re-timestamped extrapolated trace.  Costs O(events) memory +
   /// a sort; numeric outputs (makespan, stats, messages) are unaffected, so
-  /// huge-n scaling runs turn it off.
+  /// huge-n scaling runs turn it off.  Also disables Auto's epoch sampling
+  /// (every epoch must be walked to emit its events).
   bool emit_trace = true;
+  /// Representative-epoch sampling tolerance (Auto mode only).  0 = exact
+  /// dedup: only bit-identical epochs share an exemplar, predictions stay
+  /// bitwise-equal to full simulation.  > 0 = additionally cluster
+  /// same-shape classes whose per-thread compute totals differ by at most
+  /// this RELATIVE fraction; the substitution error is certified in
+  /// SamplingStats::error_bound.  Ignored (treated as 0) under the Poll
+  /// service policy, whose cost is not Lipschitz in the compute intervals
+  /// (an interval crossing a poll boundary jumps by a full poll overhead).
+  double epoch_tolerance = 0.0;
 };
 
 /// How the hybrid classifier fared on one run (all zeros in EventDriven
@@ -94,6 +113,31 @@ struct HybridStats {
   std::int64_t ops_collapsed = 0;  ///< replay steps that skipped the engine
 };
 
+/// How representative-epoch sampling fared on one run (SimMode::Auto over
+/// a fully-analytic trace; all zeros otherwise).  Exactness tiers:
+///
+///   * tier 1 (dedup, epoch_tolerance == 0): every epoch's costs come from
+///     a bit-identical exemplar, so the prediction is bitwise-equal to full
+///     simulation and error_bound is zero by construction.
+///   * tier 2 (tolerance clustering): epochs_approximated epochs took their
+///     costs from a same-shape exemplar whose compute intervals differ;
+///     |sampled − exact| <= error_bound on the makespan, certified from the
+///     per-interval differences (DESIGN.md §15 derives the bound).
+struct SamplingStats {
+  bool active = false;             ///< the sampled path actually ran
+  std::int64_t epochs = 0;         ///< barrier-delimited epochs in the trace
+  std::int64_t classes = 0;        ///< bit-identical epoch classes
+  std::int64_t clusters = 0;       ///< after tolerance clustering (== classes
+                                   ///  when epoch_tolerance == 0)
+  std::int64_t epochs_simulated = 0;    ///< exemplar walks performed
+  std::int64_t epochs_replayed = 0;     ///< non-recurring (count-1) epochs
+                                        ///  replayed exactly, warmup/teardown
+  std::int64_t epochs_approximated = 0; ///< epochs costed from a tolerance-
+                                        ///  substituted exemplar
+  Time error_bound;                ///< certified |sampled − exact| makespan
+                                   ///  bound (zero in dedup mode)
+};
+
 struct SimResult {
   Time makespan;                   ///< predicted n-processor execution time
   std::vector<ThreadStats> threads;
@@ -103,6 +147,7 @@ struct SimResult {
   double avg_inflight = 0.0;       ///< mean in-flight messages at injection
   std::uint64_t engine_events = 0;
   HybridStats hybrid;
+  SamplingStats sampling;
 
   Time total_compute() const;
   Time total_comm_wait() const;

@@ -72,6 +72,10 @@ std::size_t TranslateCache::footprint_bytes(const TranslatedTrace& tt) {
            th.remotes.size() * sizeof(RemoteRec) +
            th.barrier_ids.size() * sizeof(std::int32_t);
     }
+    const EpochClassTable& ec = tt.compiled->epoch_classes;
+    b += ec.fingerprint.size() * sizeof(std::uint64_t) +
+         ec.class_of.size() * sizeof(std::int32_t) +
+         (ec.exemplar.size() + ec.count.size()) * sizeof(std::int64_t);
   }
   return b;
 }
@@ -386,8 +390,11 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
         [&, i] {
           const double cpu0 = thread_cpu_seconds();
           try {
-            out.predictions[i] =
-                predict(*prepared[i], grid[i].params, {grid[i].mode});
+            SimOptions sopts;
+            sopts.mode = grid[i].mode;
+            sopts.emit_trace = opt_.emit_traces;
+            sopts.epoch_tolerance = opt_.epoch_tolerance;
+            out.predictions[i] = predict(*prepared[i], grid[i].params, sopts);
           } catch (...) {
             keep_first_error();
           }
@@ -413,6 +420,14 @@ SweepResult SweepRunner::run(const std::vector<SweepPoint>& grid) {
     out.stages.sim_segments_collapsed += h.segments_collapsed;
     out.stages.sim_segments_total += h.segments_total;
     out.stages.sim_ops_collapsed += h.ops_collapsed;
+    const SamplingStats& sp = p.sim.sampling;
+    if (sp.active) {
+      ++out.stages.cells_sampled;
+      out.stages.sim_epochs_total += sp.epochs;
+      out.stages.sim_epoch_classes += sp.classes;
+      out.stages.sim_epochs_simulated += sp.epochs_simulated;
+      out.stages.sim_epochs_replayed += sp.epochs_replayed;
+    }
   }
 
   out.cache_hits = cache_->hits() - hits0;

@@ -170,6 +170,15 @@ struct SweepStages {
   std::int64_t sim_segments_collapsed = 0; ///< analytic segments, whole grid
   std::int64_t sim_segments_total = 0;     ///< all segments, whole grid
   std::int64_t sim_ops_collapsed = 0;      ///< replay steps skipped
+
+  // Representative-epoch sampling attribution (SimMode::Auto cells that
+  // took the sampled path, core::SamplingStats): how much trace LENGTH the
+  // grid's replays skipped by walking one exemplar per epoch class.
+  std::int64_t cells_sampled = 0;        ///< cells on the sampled path
+  std::int64_t sim_epochs_total = 0;     ///< epochs across sampled cells
+  std::int64_t sim_epoch_classes = 0;    ///< distinct classes, sampled cells
+  std::int64_t sim_epochs_simulated = 0; ///< exemplar walks performed
+  std::int64_t sim_epochs_replayed = 0;  ///< non-recurring epochs replayed
 };
 
 struct SweepResult {
@@ -190,6 +199,15 @@ struct SweepOptions {
   /// permutation; exposed so the determinism tests can prove submission
   /// order does not leak into results.
   std::vector<std::size_t> submit_order;
+  /// Keep each prediction's extrapolated trace (SimOptions::emit_trace).
+  /// phase_fit and pattern composition read them, so they stay on by
+  /// default; prediction-only sweeps can turn them off, which also lets
+  /// Auto cells take the representative-epoch sampled path.
+  bool emit_traces = true;
+  /// Epoch-class clustering tolerance for Auto cells
+  /// (SimOptions::epoch_tolerance).  Only reachable when emit_traces is
+  /// off; 0 keeps the sampled path bitwise-exact.
+  double epoch_tolerance = 0.0;
 };
 
 class SweepRunner {

@@ -1,6 +1,7 @@
 #include "core/translate.hpp"
 
 #include <string>
+#include <unordered_map>
 
 #include "util/error.hpp"
 
@@ -163,6 +164,143 @@ std::vector<std::int64_t> owner_access_histogram(
           e.peer >= 0 && e.peer < n)
         ++hist[static_cast<std::size_t>(e.peer)];
   return hist;
+}
+
+// --- representative-epoch fingerprints (DESIGN.md §15) ----------------------
+
+namespace {
+
+/// 64-bit FNV-1a over 8-byte words.  Mixing whole words (not a substring
+/// of the value's bytes) keeps the fingerprint sensitive to field order —
+/// thread index, op kinds, intervals, and remote fields each land in their
+/// own word, so permuting fields across threads or records changes the
+/// hash.
+struct Fnv64 {
+  std::uint64_t h = 14695981039346656037ull;
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  void mix_i64(std::int64_t v) { mix(static_cast<std::uint64_t>(v)); }
+};
+
+const Segment& epoch_segment(const CompiledTrace& ct, std::size_t t,
+                             std::int64_t epoch) {
+  return ct.threads[t].segments[static_cast<std::size_t>(epoch)];
+}
+
+}  // namespace
+
+std::uint64_t epoch_fingerprint(const CompiledTrace& ct, std::int64_t epoch) {
+  XP_REQUIRE(ct.uniform_barriers,
+             "epoch fingerprints need lockstep (uniform-barrier) traces");
+  XP_REQUIRE(!ct.threads.empty() && epoch >= 0 &&
+                 epoch < static_cast<std::int64_t>(ct.threads[0].segments.size()),
+             "epoch index out of range");
+  Fnv64 f;
+  for (std::size_t t = 0; t < ct.threads.size(); ++t) {
+    const CompiledThread& th = ct.threads[t];
+    const Segment& seg = epoch_segment(ct, t, epoch);
+    // The thread index anchors each per-thread signature: the same work
+    // moved to a different thread is a different epoch shape (barrier
+    // arrival pattern and owner targeting both change).
+    f.mix(static_cast<std::uint64_t>(t));
+    for (std::uint32_t i = seg.op_begin; i <= seg.op_end; ++i) {
+      f.mix(static_cast<std::uint64_t>(th.ops[i]));
+      f.mix_i64(th.pre_delta[i].count_ns());
+    }
+    for (std::uint32_t r = seg.remote_begin; r < seg.remote_end; ++r) {
+      const RemoteRec& rec = th.remotes[r];
+      f.mix_i64(rec.peer);
+      f.mix_i64(rec.declared_bytes);
+      f.mix_i64(rec.actual_bytes);
+      f.mix(rec.is_write ? 1u : 0u);
+    }
+  }
+  return f.h;
+}
+
+namespace {
+
+/// Shared walk of epochs_identical / epochs_same_shape: op kinds, remote
+/// records, terminator — and optionally the compute intervals.
+bool epochs_equal_impl(const CompiledTrace& ct, std::int64_t a,
+                       std::int64_t b, bool compare_costs) {
+  if (a == b) return true;
+  for (std::size_t t = 0; t < ct.threads.size(); ++t) {
+    const CompiledThread& th = ct.threads[t];
+    const Segment& sa = epoch_segment(ct, t, a);
+    const Segment& sb = epoch_segment(ct, t, b);
+    const std::uint32_t n_ops_a = sa.op_end - sa.op_begin;
+    if (n_ops_a != sb.op_end - sb.op_begin) return false;
+    if (sa.remote_end - sa.remote_begin != sb.remote_end - sb.remote_begin)
+      return false;
+    for (std::uint32_t i = 0; i <= n_ops_a; ++i) {
+      if (th.ops[sa.op_begin + i] != th.ops[sb.op_begin + i]) return false;
+      if (compare_costs &&
+          th.pre_delta[sa.op_begin + i] != th.pre_delta[sb.op_begin + i])
+        return false;
+    }
+    for (std::uint32_t r = 0; r < sa.remote_end - sa.remote_begin; ++r) {
+      const RemoteRec& ra = th.remotes[sa.remote_begin + r];
+      const RemoteRec& rb = th.remotes[sb.remote_begin + r];
+      if (ra.peer != rb.peer || ra.declared_bytes != rb.declared_bytes ||
+          ra.actual_bytes != rb.actual_bytes || ra.is_write != rb.is_write)
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool epochs_identical(const CompiledTrace& ct, std::int64_t a,
+                      std::int64_t b) {
+  return epochs_equal_impl(ct, a, b, /*compare_costs=*/true);
+}
+
+bool epochs_same_shape(const CompiledTrace& ct, std::int64_t a,
+                       std::int64_t b) {
+  return epochs_equal_impl(ct, a, b, /*compare_costs=*/false);
+}
+
+EpochClassTable build_epoch_classes(const CompiledTrace& ct) {
+  XP_REQUIRE(ct.uniform_barriers,
+             "epoch classes need lockstep (uniform-barrier) traces");
+  EpochClassTable tab;
+  if (ct.threads.empty()) return tab;
+  const auto epochs =
+      static_cast<std::int64_t>(ct.threads[0].segments.size());
+  tab.fingerprint.reserve(static_cast<std::size_t>(epochs));
+  tab.class_of.reserve(static_cast<std::size_t>(epochs));
+  // fingerprint -> class indices sharing it (collision candidates).
+  std::unordered_map<std::uint64_t, std::vector<std::int32_t>> by_hash;
+  for (std::int64_t e = 0; e < epochs; ++e) {
+    const std::uint64_t fp = epoch_fingerprint(ct, e);
+    tab.fingerprint.push_back(fp);
+    std::int32_t cls = -1;
+    auto& candidates = by_hash[fp];
+    for (const std::int32_t c : candidates) {
+      // Verify structurally before merging: a hash collision must never
+      // conflate distinct epochs (exactness tier 1 depends on it).
+      if (epochs_identical(ct, tab.exemplar[static_cast<std::size_t>(c)],
+                           e)) {
+        cls = c;
+        break;
+      }
+    }
+    if (cls < 0) {
+      cls = static_cast<std::int32_t>(tab.exemplar.size());
+      tab.exemplar.push_back(e);
+      tab.count.push_back(0);
+      candidates.push_back(cls);
+    }
+    tab.class_of.push_back(cls);
+    ++tab.count[static_cast<std::size_t>(cls)];
+  }
+  return tab;
 }
 
 }  // namespace xp::core

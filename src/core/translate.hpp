@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/compiled_trace.hpp"
 #include "trace/trace.hpp"
 #include "util/time.hpp"
 
@@ -57,5 +58,40 @@ Time ideal_parallel_time(const std::vector<trace::Trace>& translated);
 /// analytically without queueing through the event engine.
 std::vector<std::int64_t> owner_access_histogram(
     const std::vector<trace::Trace>& translated);
+
+// --- representative-epoch fingerprints (DESIGN.md §15) ----------------------
+//
+// Computed at translation/compile time so the (expensive, parameter-
+// independent) epoch grouping is paid once per TranslateCache entry and
+// shared read-only by every simulation of a sweep, exactly like the
+// segment table itself.
+
+/// FNV-1a structural fingerprint of epoch `epoch` (segment index): per
+/// thread, the thread index, every op kind and unscaled compute interval of
+/// the segment, and every remote record's (peer, declared_bytes,
+/// actual_bytes, is_write).  Excludes barrier ids (instance names, not
+/// costs) and object ids (never enter a cost).  Requires uniform_barriers.
+std::uint64_t epoch_fingerprint(const CompiledTrace& ct, std::int64_t epoch);
+
+/// Exact content equality of two epochs: same per-thread op-kind sequences,
+/// identical pre_delta intervals, identical remote records.  This is the
+/// collision-proofing check behind EpochClassTable — classes merge only
+/// when this holds, so two epochs in one class replay identically under
+/// EVERY parameter set.
+bool epochs_identical(const CompiledTrace& ct, std::int64_t a, std::int64_t b);
+
+/// Structure-only equality: op kinds and remote records match but compute
+/// intervals may differ.  Two same-shape epochs have identical
+/// communication cost and differ only through their compute intervals —
+/// the precondition for tolerance clustering, whose certified error bound
+/// (core/simulator.hpp) covers exactly that remaining difference.
+bool epochs_same_shape(const CompiledTrace& ct, std::int64_t a,
+                       std::int64_t b);
+
+/// Group all epochs into classes of bit-identical content (fingerprint
+/// match + epochs_identical verification).  Requires uniform_barriers;
+/// class indices are in first-occurrence order, so exemplar[] is strictly
+/// increasing and the final (End-terminated) epoch is always a singleton.
+EpochClassTable build_epoch_classes(const CompiledTrace& ct);
 
 }  // namespace xp::core

@@ -15,6 +15,7 @@ SweepReport analyze_sweep(const core::SweepResult& r) {
   SweepReport out;
   out.cache_hits = r.cache_hits;
   out.cache_misses = r.cache_misses;
+  out.stages = r.stages;
 
   std::vector<std::string> order;
   std::map<std::string, std::map<int, const core::Prediction*>> by_label;
@@ -66,6 +67,24 @@ std::string render_sweep(const SweepReport& r, bool chart) {
   if (r.cache_misses > 0)
     os << "\n(translate cache: " << r.cache_misses << " measurement(s), "
        << r.cache_hits << " reuse(s))\n";
+  // Simulate-mode attribution footer: how the grid's replay work split
+  // between the event engine, the hybrid analytic path, and the
+  // representative-epoch sampled path (core::SweepStages — computed by
+  // every sweep, surfaced here so the standard report shows it).
+  const core::SweepStages& st = r.stages;
+  if (st.cells_event + st.cells_hybrid > 0) {
+    os << "(simulate: " << st.cells_event << " event cell(s), "
+       << st.cells_hybrid << " hybrid cell(s), " << st.cells_sampled
+       << " epoch-sampled cell(s); " << st.sim_events_fired
+       << " engine event(s), " << st.sim_segments_collapsed << "/"
+       << st.sim_segments_total << " segment(s) collapsed";
+    if (st.cells_sampled > 0)
+      os << "; " << st.sim_epochs_simulated << " exemplar(s) walked for "
+         << st.sim_epochs_total << " epoch(s) in " << st.sim_epoch_classes
+         << " class(es), " << st.sim_epochs_replayed
+         << " non-recurring replayed exactly";
+    os << ")\n";
+  }
   return os.str();
 }
 

@@ -31,6 +31,11 @@ struct SweepReport {
   std::vector<SweepSeries> series;  ///< label first-appearance order
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Per-stage timing and simulate-mode attribution of the sweep
+  /// (core::SweepStages): event vs hybrid vs epoch-sampled cells, engine
+  /// events fired, segments collapsed, epoch classes walked.  Rendered as
+  /// the report footer so mode attribution lands in the standard table.
+  core::SweepStages stages;
 };
 
 /// Group a sweep's predictions into per-label series.  Points sharing a

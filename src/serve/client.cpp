@@ -184,17 +184,22 @@ std::vector<QueryResult> Client::query_batch(
 
 Client::Ticket Client::submit_batch(std::uint64_t session,
                                     const std::vector<Query>& queries) {
-  // All-default-mode batches keep the flagless (pre-mode) wire form, so a
-  // client that never asks for an explicit mode stays compatible with
-  // servers that predate kBatchHasModes.
+  // All-default batches keep the flagless (pre-mode) wire form, so a
+  // client that never asks for an explicit mode or a sampling tolerance
+  // stays compatible with servers that predate the flags.  Each flag is
+  // raised independently, only when some query actually needs it.
   const bool with_modes =
       std::any_of(queries.begin(), queries.end(),
                   [](const Query& q) { return q.mode != QueryMode::Auto; });
+  const bool with_sampling =
+      std::any_of(queries.begin(), queries.end(),
+                  [](const Query& q) { return q.epoch_tolerance > 0.0; });
   WireWriter w;
   w.u64(session);
   w.u32(static_cast<std::uint32_t>(queries.size()) |
-        (with_modes ? kBatchHasModes : 0u));
-  for (const Query& q : queries) encode_query(w, q, with_modes);
+        (with_modes ? kBatchHasModes : 0u) |
+        (with_sampling ? kBatchHasSampling : 0u));
+  for (const Query& q : queries) encode_query(w, q, with_modes, with_sampling);
   return send_request(MsgType::QueryBatch, w.data());
 }
 
@@ -214,11 +219,15 @@ PatternModelResult Client::pattern_model(std::uint64_t session,
 std::vector<QueryResult> Client::wait_batch(Ticket t) {
   const std::string body = wait_ok(t);
   WireReader r(body);
-  const std::uint32_t count = r.u32();
+  // The server echoes kBatchHasSampling on the count when the results
+  // carry sampling attribution, so decoding needs no submit-side state.
+  const std::uint32_t raw_count = r.u32();
+  const bool with_sampling = (raw_count & kBatchHasSampling) != 0;
+  const std::uint32_t count = raw_count & ~kBatchHasSampling;
   std::vector<QueryResult> out;
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i)
-    out.push_back(decode_query_result(r));
+    out.push_back(decode_query_result(r, with_sampling));
   r.expect_end();
   return out;
 }

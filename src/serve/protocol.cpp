@@ -130,14 +130,16 @@ const char* to_string(QueryMode m) {
   return "?";
 }
 
-void encode_query(WireWriter& w, const Query& q, bool with_mode) {
+void encode_query(WireWriter& w, const Query& q, bool with_mode,
+                  bool with_sampling) {
   w.i32(q.n_procs);
   w.f64(q.mips_ratio);
   w.str(q.params_text);
   if (with_mode) w.u8(static_cast<std::uint8_t>(q.mode));
+  if (with_sampling) w.f64(q.epoch_tolerance);
 }
 
-Query decode_query(WireReader& r, bool with_mode) {
+Query decode_query(WireReader& r, bool with_mode, bool with_sampling) {
   Query q;
   q.n_procs = r.i32();
   q.mips_ratio = r.f64();
@@ -148,10 +150,18 @@ Query decode_query(WireReader& r, bool with_mode) {
       throw ProtocolError("unknown query mode " + std::to_string(m));
     q.mode = static_cast<QueryMode>(m);
   }
+  if (with_sampling) {
+    q.epoch_tolerance = r.f64();
+    // Reject garbage here, where the reply can say which query is bad —
+    // not deep in the simulator.  (NaN fails both comparisons.)
+    if (!(q.epoch_tolerance >= 0.0) || q.epoch_tolerance > 1.0)
+      throw ProtocolError("epoch tolerance must be in [0, 1]");
+  }
   return q;
 }
 
-void encode_query_result(WireWriter& w, const QueryResult& res) {
+void encode_query_result(WireWriter& w, const QueryResult& res,
+                         bool with_sampling) {
   w.u8(res.ok ? 1 : 0);
   if (!res.ok) {
     w.str(res.error);
@@ -165,9 +175,15 @@ void encode_query_result(WireWriter& w, const QueryResult& res) {
   w.i64(res.compute_ns);
   w.i64(res.comm_wait_ns);
   w.i64(res.barrier_wait_ns);
+  if (with_sampling) {
+    w.i64(res.sampling_epochs);
+    w.i64(res.sampling_classes);
+    w.i64(res.sampling_simulated);
+    w.i64(res.sampling_error_bound_ns);
+  }
 }
 
-QueryResult decode_query_result(WireReader& r) {
+QueryResult decode_query_result(WireReader& r, bool with_sampling) {
   QueryResult res;
   res.ok = r.u8() != 0;
   if (!res.ok) {
@@ -182,6 +198,12 @@ QueryResult decode_query_result(WireReader& r) {
   res.compute_ns = r.i64();
   res.comm_wait_ns = r.i64();
   res.barrier_wait_ns = r.i64();
+  if (with_sampling) {
+    res.sampling_epochs = r.i64();
+    res.sampling_classes = r.i64();
+    res.sampling_simulated = r.i64();
+    res.sampling_error_bound_ns = r.i64();
+  }
   return res;
 }
 
@@ -298,10 +320,13 @@ void encode_stats(WireWriter& w, const ServerStats& s) {
   w.f64(s.measure_cpu_s);
   w.f64(s.translate_cpu_s);
   w.f64(s.simulate_cpu_s);
-  // Appended extension (see ServerStats): order is part of the protocol.
+  // Appended extensions (see ServerStats): order is part of the protocol.
   w.u64(s.queries_auto);
   w.u64(s.queries_event);
   w.u64(s.queries_hybrid);
+  w.u64(s.queries_sampled);
+  w.u64(s.sampling_epochs_total);
+  w.u64(s.sampling_epochs_simulated);
 }
 
 ServerStats decode_stats(WireReader& r) {
@@ -323,11 +348,17 @@ ServerStats decode_stats(WireReader& r) {
   s.translate_cpu_s = r.f64();
   s.simulate_cpu_s = r.f64();
   // Trailing fields are optional: a pre-mode server stops here, and the
-  // per-mode counts keep their zero defaults.
+  // per-mode counts keep their zero defaults.  Each appended block gates
+  // on its own remaining() check, so every protocol generation decodes.
   if (r.remaining() >= 3 * 8) {
     s.queries_auto = r.u64();
     s.queries_event = r.u64();
     s.queries_hybrid = r.u64();
+    if (r.remaining() >= 3 * 8) {
+      s.queries_sampled = r.u64();
+      s.sampling_epochs_total = r.u64();
+      s.sampling_epochs_simulated = r.u64();
+    }
   }
   return s;
 }

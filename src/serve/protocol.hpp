@@ -54,6 +54,18 @@ constexpr std::uint8_t kReplyBit = 0x80;
 /// emitting the flagless wire form, which old servers parse unchanged.
 constexpr std::uint32_t kBatchHasModes = 1u << 31;
 
+/// QUERY_BATCH versioning, second flag: set on the query-count u32 when
+/// every encoded query carries a trailing epoch-tolerance f64 (the
+/// representative-epoch sampling knob, core::SimOptions::epoch_tolerance).
+/// Unambiguous for the same reason as kBatchHasModes — the 2^20 query cap
+/// leaves bits 20..31 free.  The server ECHOES this flag on the reply's
+/// result-count u32 and appends per-result sampling stats when set, so
+/// clients decode replies statelessly.  Composes independently with
+/// kBatchHasModes (either, both, or neither may be set).  Old servers
+/// reject a flagged count as oversized with a clear error reply rather
+/// than misparsing the bodies.
+constexpr std::uint32_t kBatchHasSampling = 1u << 30;
+
 enum class MsgType : std::uint8_t {
   LoadTrace = 1,     ///< body: XPTB binary trace bytes -> session
   OpenBench = 2,     ///< body: suite benchmark name -> session
@@ -91,6 +103,12 @@ struct Query {
   std::string params_text;
   /// Only on the wire when the batch count carries kBatchHasModes.
   QueryMode mode = QueryMode::Auto;
+  /// Representative-epoch sampling tolerance (core::SimOptions
+  /// ::epoch_tolerance): 0 = exact dedup only (still bitwise-equal to full
+  /// simulation), > 0 allows clustering near-identical epochs under a
+  /// certified error bound.  Only on the wire when the batch count carries
+  /// kBatchHasSampling; only consulted on the SimMode::Auto path.
+  double epoch_tolerance = 0.0;
 
   bool operator==(const Query&) const = default;
 };
@@ -109,6 +127,13 @@ struct QueryResult {
   std::int64_t compute_ns = 0;
   std::int64_t comm_wait_ns = 0;
   std::int64_t barrier_wait_ns = 0;
+  // Representative-epoch sampling attribution (core::SamplingStats).  On
+  // the wire only when the reply count echoes kBatchHasSampling; zero when
+  // the query's simulation did not take the sampled path.
+  std::int64_t sampling_epochs = 0;      ///< epochs in the replayed trace
+  std::int64_t sampling_classes = 0;     ///< distinct epoch classes
+  std::int64_t sampling_simulated = 0;   ///< exemplar epochs actually walked
+  std::int64_t sampling_error_bound_ns = 0;  ///< certified |err| on predicted_ns
 
   bool operator==(const QueryResult&) const = default;
 };
@@ -186,6 +211,12 @@ struct ServerStats {
   std::uint64_t queries_auto = 0;
   std::uint64_t queries_event = 0;
   std::uint64_t queries_hybrid = 0;
+  // Representative-epoch sampling counters (second appended extension):
+  // how many served queries took the sampled path and how much epoch
+  // replay it saved daemon-wide.  Old replies decode to 0.
+  std::uint64_t queries_sampled = 0;          ///< queries on the sampled path
+  std::uint64_t sampling_epochs_total = 0;    ///< epochs covered by those
+  std::uint64_t sampling_epochs_simulated = 0;  ///< exemplar walks performed
 
   bool operator==(const ServerStats&) const = default;
 };
@@ -264,12 +295,20 @@ std::optional<std::pair<Frame, std::size_t>> try_parse_frame(
 
 /// `with_mode` selects the kBatchHasModes wire form (a trailing mode
 /// byte); without it the mode is neither written nor read and defaults to
-/// QueryMode::Auto on decode.
-void encode_query(WireWriter& w, const Query& q, bool with_mode = false);
-Query decode_query(WireReader& r, bool with_mode = false);
+/// QueryMode::Auto on decode.  `with_sampling` likewise selects the
+/// kBatchHasSampling form (a trailing epoch-tolerance f64 after the mode
+/// byte, when both are present); the two flags compose independently.
+void encode_query(WireWriter& w, const Query& q, bool with_mode = false,
+                  bool with_sampling = false);
+Query decode_query(WireReader& r, bool with_mode = false,
+                   bool with_sampling = false);
 
-void encode_query_result(WireWriter& w, const QueryResult& res);
-QueryResult decode_query_result(WireReader& r);
+/// `with_sampling` mirrors the kBatchHasSampling reply form: ok results
+/// gain four trailing sampling-attribution i64s.  Error results are
+/// unchanged in either form.
+void encode_query_result(WireWriter& w, const QueryResult& res,
+                         bool with_sampling = false);
+QueryResult decode_query_result(WireReader& r, bool with_sampling = false);
 
 void encode_stats(WireWriter& w, const ServerStats& s);
 ServerStats decode_stats(WireReader& r);

@@ -185,6 +185,10 @@ QueryResult Service::run_query_on(Source& src, const Query& q) {
     // also unlocks the simulator's pre-summed segment shortcut.
     core::SimOptions sopts;
     sopts.emit_trace = false;
+    // The sampling knob rides along verbatim; it only matters on the Auto
+    // path, where 0 still means exact epoch dedup.  (The wire decoder has
+    // already range-checked it to [0, 1].)
+    sopts.epoch_tolerance = q.epoch_tolerance;
     switch (q.mode) {
       case QueryMode::EventDriven:
         sopts.mode = core::SimMode::EventDriven;
@@ -208,6 +212,18 @@ QueryResult Service::run_query_on(Source& src, const Query& q) {
     res.compute_ns = pred.sim.total_compute().count_ns();
     res.comm_wait_ns = pred.sim.total_comm_wait().count_ns();
     res.barrier_wait_ns = pred.sim.total_barrier_wait().count_ns();
+    const core::SamplingStats& sp = pred.sim.sampling;
+    if (sp.active) {
+      res.sampling_epochs = sp.epochs;
+      res.sampling_classes = sp.classes;
+      res.sampling_simulated = sp.epochs_simulated;
+      res.sampling_error_bound_ns = sp.error_bound.count_ns();
+      queries_sampled_.fetch_add(1);
+      sampling_epochs_total_.fetch_add(
+          static_cast<std::uint64_t>(sp.epochs));
+      sampling_epochs_simulated_.fetch_add(
+          static_cast<std::uint64_t>(sp.epochs_simulated));
+    }
   } catch (const std::exception& e) {
     res = QueryResult{};
     res.error = e.what();
@@ -427,16 +443,20 @@ void Service::dispatch_batch(Frame frame, Completion done) {
   const std::uint64_t session = r.u64();
   const std::uint32_t raw_count = r.u32();
   // kBatchHasModes flags the versioned wire form (per-query mode byte);
-  // flagless batches decode exactly as before, with every mode Auto.
+  // kBatchHasSampling adds a per-query epoch-tolerance f64 and asks for
+  // sampling attribution on the reply.  Flagless batches decode exactly
+  // as before, with every mode Auto and tolerance 0.
   const bool has_modes = (raw_count & kBatchHasModes) != 0;
-  const std::uint32_t count = raw_count & ~kBatchHasModes;
+  const bool has_sampling = (raw_count & kBatchHasSampling) != 0;
+  const std::uint32_t count =
+      raw_count & ~(kBatchHasModes | kBatchHasSampling);
   if (count > kMaxBatchQueries)
     throw ProtocolError("batch of " + std::to_string(count) +
                         " queries exceeds the per-request cap");
   std::vector<Query> queries;
   queries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i)
-    queries.push_back(decode_query(r, has_modes));
+    queries.push_back(decode_query(r, has_modes, has_sampling));
   r.expect_end();
 
   const auto src = session_source(session);
@@ -452,6 +472,7 @@ void Service::dispatch_batch(Frame frame, Completion done) {
     std::atomic<std::size_t> remaining;
     Completion done;
     std::uint64_t request_id;
+    bool has_sampling = false;
   };
   auto st = std::make_shared<BatchState>();
   st->src = src;
@@ -460,10 +481,14 @@ void Service::dispatch_batch(Frame frame, Completion done) {
   st->remaining.store(count);
   st->done = std::move(done);
   st->request_id = frame.request_id;
+  st->has_sampling = has_sampling;
 
+  // The reply ECHOES the sampling flag on its result count, so the client
+  // decodes the extended results statelessly.
+  const std::uint32_t reply_flags = has_sampling ? kBatchHasSampling : 0u;
   if (count == 0) {
     WireWriter w;
-    w.u32(0);
+    w.u32(reply_flags);
     st->done(encode_frame(MsgType::QueryBatch, true, st->request_id,
                           ok_reply_body(w.data())));
     return;
@@ -480,8 +505,10 @@ void Service::dispatch_batch(Frame frame, Completion done) {
       queue_depth_.fetch_sub(1);
       if (st->remaining.fetch_sub(1) == 1) {
         WireWriter w;
-        w.u32(static_cast<std::uint32_t>(st->results.size()));
-        for (const QueryResult& res : st->results) encode_query_result(w, res);
+        w.u32(static_cast<std::uint32_t>(st->results.size()) |
+              (st->has_sampling ? kBatchHasSampling : 0u));
+        for (const QueryResult& res : st->results)
+          encode_query_result(w, res, st->has_sampling);
         st->done(encode_frame(MsgType::QueryBatch, true, st->request_id,
                               ok_reply_body(w.data())));
       }
@@ -578,6 +605,9 @@ ServerStats Service::stats() const {
       queries_by_mode_[static_cast<std::size_t>(QueryMode::EventDriven)].load();
   s.queries_hybrid =
       queries_by_mode_[static_cast<std::size_t>(QueryMode::Hybrid)].load();
+  s.queries_sampled = queries_sampled_.load();
+  s.sampling_epochs_total = sampling_epochs_total_.load();
+  s.sampling_epochs_simulated = sampling_epochs_simulated_.load();
   std::lock_guard<std::mutex> lock(mu_);
   s.sessions_open = sessions_.size();
   for (const auto& [fp, src] : sources_) {

@@ -136,6 +136,11 @@ class Service {
   /// ended up on) — indexed by QueryMode, so the stats verb can show how
   /// much traffic opts out of the hybrid default.
   std::atomic<std::uint64_t> queries_by_mode_[3] = {};
+  /// Representative-epoch sampling: queries whose simulation took the
+  /// sampled path, and the epoch replay it covered vs actually performed.
+  std::atomic<std::uint64_t> queries_sampled_{0};
+  std::atomic<std::uint64_t> sampling_epochs_total_{0};
+  std::atomic<std::uint64_t> sampling_epochs_simulated_{0};
   std::atomic<std::int64_t> queue_depth_{0};
   std::atomic<double> measure_cpu_s_{0};
   std::atomic<double> translate_cpu_s_{0};

@@ -181,6 +181,9 @@ TEST(ServeProtocol, StatsDecodeToleratesPreModeReplies) {
   s.queries_auto = 2;
   s.queries_event = 1;
   s.queries_hybrid = 1;
+  s.queries_sampled = 2;
+  s.sampling_epochs_total = 2002;
+  s.sampling_epochs_simulated = 6;
   WireWriter w;
   encode_stats(w, s);
   {
@@ -189,16 +192,28 @@ TEST(ServeProtocol, StatsDecodeToleratesPreModeReplies) {
     EXPECT_NO_THROW(r.expect_end());
   }
 
-  // A reply from a server that predates the per-mode counters is 24 bytes
-  // shorter; the decoder must zero-fill instead of throwing.
-  const std::string old_bytes = w.data().substr(0, w.data().size() - 3 * 8);
-  ServerStats expect_old = s;
-  expect_old.queries_auto = 0;
-  expect_old.queries_event = 0;
-  expect_old.queries_hybrid = 0;
-  WireReader r2(old_bytes);
-  EXPECT_EQ(decode_stats(r2), expect_old);
+  // A reply from a server that predates the sampling counters is 24 bytes
+  // shorter; the decoder must zero-fill that block instead of throwing.
+  const std::string pre_sampling =
+      w.data().substr(0, w.data().size() - 3 * 8);
+  ServerStats expect_pre_sampling = s;
+  expect_pre_sampling.queries_sampled = 0;
+  expect_pre_sampling.sampling_epochs_total = 0;
+  expect_pre_sampling.sampling_epochs_simulated = 0;
+  WireReader r2(pre_sampling);
+  EXPECT_EQ(decode_stats(r2), expect_pre_sampling);
   EXPECT_NO_THROW(r2.expect_end());
+
+  // One generation further back (pre-mode counters): both appended blocks
+  // zero-fill.
+  const std::string pre_modes = w.data().substr(0, w.data().size() - 6 * 8);
+  ServerStats expect_pre_modes = expect_pre_sampling;
+  expect_pre_modes.queries_auto = 0;
+  expect_pre_modes.queries_event = 0;
+  expect_pre_modes.queries_hybrid = 0;
+  WireReader r3(pre_modes);
+  EXPECT_EQ(decode_stats(r3), expect_pre_modes);
+  EXPECT_NO_THROW(r3.expect_end());
 }
 
 TEST(ServeProtocol, PatternQueryAndResultRoundTrip) {
